@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+A single session-scoped :class:`ExperimentRunner` caches baseline runs and
+stand-alone IPCs across all table/figure benchmarks, exactly as the paper's
+figures share one set of simulations.  ``emit`` prints each regenerated
+table (visible with ``pytest -s`` or in the captured output) and archives
+it under ``results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,23 @@
+"""Figure 10: normalised AML with local/remote/memory breakdown."""
+
+from conftest import run_once
+
+from repro.experiments import fig10_latency
+from repro.workloads.mixes import mix_name
+
+
+def test_fig10_latency(benchmark, runner, emit):
+    result = run_once(benchmark, lambda: fig10_latency.run(runner))
+    emit("fig10_latency", fig10_latency.format_result(result))
+    # Cooperation converts memory accesses into remote hits on the
+    # donor+taker mixes, and AVGCC improves AML on the geomean.
+    b = result.breakdowns[(mix_name((471, 444)), "avgcc")]
+    assert b.remote_fraction > 0
+    assert result.geomean_improvement("avgcc") > 0
+    for key, breakdown in result.breakdowns.items():
+        total = (
+            breakdown.local_fraction
+            + breakdown.remote_fraction
+            + breakdown.memory_fraction
+        )
+        assert abs(total - 1.0) < 1e-6, key

@@ -1,0 +1,16 @@
+"""Figure 2: favored vs constant set fractions for astar and milc."""
+
+from conftest import run_once
+
+from repro.experiments import fig2_sets
+
+
+def test_fig2_sets(benchmark, emit):
+    result = run_once(benchmark, lambda: fig2_sets.run())
+    emit("fig2_sets", fig2_sets.format_result(result))
+    astar = result.classifications[473]
+    milc = result.classifications[433]
+    # astar has a meaningful favored population somewhere in the sweep;
+    # milc is dominated by constant sets throughout.
+    assert max(c.favored_fraction for c in astar) > 0.05
+    assert all(c.constant_fraction > 0.5 for c in milc)

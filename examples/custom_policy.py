@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Extending the library: plug in a custom LLC policy.
+
+Implements a toy "always-spill-round-robin" policy on the public
+:class:`~repro.policies.base.LLCPolicy` interface and races it against the
+baseline and ASCC on a donor+taker mix.  This is the integration surface a
+downstream research project would use to prototype a new scheme.
+
+Run:  python examples/custom_policy.py
+"""
+
+from typing import Optional
+
+from repro import ExperimentRunner
+from repro.core.states import SetRole
+from repro.policies.base import LLCPolicy
+
+
+class RoundRobinSpill(LLCPolicy):
+    """Spill every last-copy victim, rotating over the peers."""
+
+    name = "round-robin"
+    respill_spilled = False
+
+    def _setup(self) -> None:
+        self._next = 0
+
+    def should_spill(self, cache_id: int, set_idx: int) -> bool:
+        return self.num_caches > 1
+
+    def select_receiver(self, cache_id: int, set_idx: int) -> Optional[int]:
+        self._next = (self._next + 1) % self.num_caches
+        if self._next == cache_id:
+            self._next = (self._next + 1) % self.num_caches
+        return self._next
+
+    def role(self, cache_id: int, set_idx: int) -> SetRole:
+        return SetRole.SPILLER
+
+
+def main() -> None:
+    import repro.policies.registry as registry
+
+    registry._FACTORIES["round-robin"] = RoundRobinSpill  # register for the runner
+
+    runner = ExperimentRunner()
+    mix = (471, 444)
+    for scheme in ("round-robin", "dsr", "ascc"):
+        outcome = runner.outcome(mix, scheme)
+        print(
+            f"{scheme:<12} speedup {outcome.speedup_improvement:+7.1%}  "
+            f"spills {outcome.result.total_spills:>6}  "
+            f"hits/spill {outcome.result.hits_per_spill:.2f}"
+        )
+    print(
+        "\nUnconditional spilling moves many dead lines; the SSL-driven"
+        "\ndesigns spill less and hit more per spilled line."
+    )
+
+
+if __name__ == "__main__":
+    main()

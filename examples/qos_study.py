@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""QoS study: bounding AVGCC's worst case (Section 8 / Figure 11).
+
+Runs every two-application mix under AVGCC and QoS-Aware AVGCC and shows
+per-mix improvements side by side: the QoS extension throttles the SSL
+growth (the miss increment becomes the QoSRatio) wherever AVGCC would
+lose to the baseline.
+
+Run:  python examples/qos_study.py
+"""
+
+from repro import MIX2, ExperimentRunner, mix_name
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+    print(f"{'mix':<12}{'avgcc':>10}{'qos-avgcc':>12}")
+    worst = (0.0, "")
+    for mix in MIX2:
+        plain = runner.outcome(mix, "avgcc").speedup_improvement
+        qos = runner.outcome(mix, "qos-avgcc").speedup_improvement
+        marker = "  <- loss bounded" if plain < -0.005 <= qos - plain else ""
+        print(f"{mix_name(mix):<12}{plain:>+10.1%}{qos:>+12.1%}{marker}")
+        if plain < worst[0]:
+            worst = (plain, mix_name(mix))
+    if worst[1]:
+        print(f"\nAVGCC's worst mix: {worst[1]} at {worst[0]:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

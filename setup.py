@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` works without network access
+(the pinned pip needs setup.py for a non-PEP-517 editable install)."""
+
+from setuptools import setup
+
+setup()

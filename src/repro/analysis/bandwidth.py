@@ -1,0 +1,47 @@
+"""Interconnect-bandwidth analysis (Section 6.3's bandwidth argument).
+
+The paper argues that ASCC/AVGCC save bandwidth — increasingly valuable as
+core counts grow and prefetchers consume more of it.  This module turns
+the :class:`~repro.interconnect.bus.BusTraffic` counters into a per-kilo-
+instruction interconnect load and compares schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.results import SystemResult
+
+
+@dataclass(frozen=True)
+class BandwidthReport:
+    """Interconnect load of one run, normalised per kilo-instruction."""
+
+    scheme: str
+    workload: str
+    flits_per_kiloinstruction: float
+    data_messages: int
+    control_messages: int
+
+    def reduction_versus(self, baseline: "BandwidthReport") -> float:
+        """Fractional interconnect-load reduction over the baseline."""
+        if baseline.flits_per_kiloinstruction <= 0:
+            raise ValueError("baseline produced no interconnect traffic")
+        return 1.0 - self.flits_per_kiloinstruction / baseline.flits_per_kiloinstruction
+
+
+def bandwidth_report(result: SystemResult) -> BandwidthReport:
+    """Summarise a run's interconnect load.
+
+    Traffic counters cover the whole run (including warmup), so reductions
+    should always be computed against a baseline measured identically.
+    """
+    instructions = sum(c.instructions for c in result.cores)
+    flits = result.traffic.total_flits()
+    return BandwidthReport(
+        scheme=result.scheme,
+        workload=result.workload,
+        flits_per_kiloinstruction=1000.0 * flits / instructions if instructions else 0.0,
+        data_messages=result.traffic.data_messages(),
+        control_messages=result.traffic.control_messages(),
+    )

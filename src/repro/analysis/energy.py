@@ -1,0 +1,43 @@
+"""Memory-hierarchy energy model.
+
+The paper reports 25 %/29 % average power-consumption reductions for AVGCC
+(Section 6.2) without detailing its power model; the reductions track the
+off-chip access reduction, since a DRAM access costs orders of magnitude
+more energy than an on-chip one.  We use a standard event-energy model with
+relative costs (normalised to one local L2 access): a remote hit moves a
+line across the chip, a DRAM access dominates everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.results import SystemResult
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Relative energy per event (local L2 access = 1)."""
+
+    l2_access: float = 1.0
+    remote_transfer: float = 2.5
+    dram_access: float = 60.0
+    snoop: float = 0.2
+
+    def energy(self, result: SystemResult) -> float:
+        """Total memory-hierarchy energy of a run (relative units)."""
+        t = result.traffic
+        l2_events = t.local_hits + t.remote_hits + t.memory_fetches
+        return (
+            l2_events * self.l2_access
+            + (t.remote_hits + t.spills + 2 * t.swaps) * self.remote_transfer
+            + (t.memory_fetches + t.writebacks + t.prefetch_fills) * self.dram_access
+            + t.snoop_broadcasts * self.snoop
+        )
+
+    def reduction(self, result: SystemResult, baseline: SystemResult) -> float:
+        """Fractional energy reduction over the baseline run."""
+        base = self.energy(baseline)
+        if base <= 0:
+            raise ValueError("baseline run consumed no energy")
+        return 1.0 - self.energy(result) / base

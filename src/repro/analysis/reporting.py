@@ -1,0 +1,55 @@
+"""ASCII table and bar-series formatting for experiment outputs.
+
+Every experiment module renders its result through these helpers so the
+benchmark harness prints rows comparable, column by column, with the
+paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_percent(value: float, signed: bool = True) -> str:
+    """0.078 -> '+7.8%'."""
+    sign = "+" if signed else ""
+    return f"{value * 100:{sign}.1f}%"
+
+
+def format_series(
+    label: str, pairs: Iterable[tuple[str, float]], unit: str = "%"
+) -> str:
+    """Render a figure-style bar series as 'name value' lines."""
+    lines = [label]
+    for name, value in pairs:
+        shown = value * 100 if unit == "%" else value
+        bar = "#" * max(0, min(60, int(round(abs(shown)))))
+        lines.append(f"  {name:<18} {shown:+8.2f}{unit} {bar}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 100 else f"{cell:.1f}"
+    return str(cell)

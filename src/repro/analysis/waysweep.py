@@ -1,0 +1,148 @@
+"""Way-restriction sweeps: the machinery behind Figures 1 and 2.
+
+Figure 1 runs each benchmark alone on a 2 MB/16-way cache with 2..16 ways
+enabled (plus full associativity) and reports MPKI and CPI.  Figure 2
+classifies each *set* as **favored** (its MPKI keeps dropping as ways are
+added) or **constant** (the drop is below 1 % relative to two fewer ways).
+
+Way restriction keeps the set count fixed while shrinking associativity —
+exactly "the remaining ways are disabled" — via
+:meth:`~repro.cache.geometry.CacheGeometry.with_ways`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.policies.private_lru import PrivateLRU
+from repro.sim.config import ScaleModel, SystemConfig
+from repro.sim.engine import Engine
+from repro.sim.system import PrivateHierarchy
+from repro.workloads.spec2006 import benchmark
+
+#: Ways enabled in the Figure 1 sweep (the last point is full assoc).
+FIGURE1_WAYS = [2, 4, 6, 8, 10, 12, 14, 16]
+
+
+class SetStatsProbe(PrivateLRU):
+    """Baseline policy that additionally records per-set miss counts."""
+
+    name = "baseline+probe"
+
+    def _setup(self) -> None:
+        assert self.geometry is not None
+        self.set_accesses = [0] * self.geometry.sets
+        self.set_misses = [0] * self.geometry.sets
+
+    def on_access(self, cache_id: int, set_idx: int, outcome: str) -> None:
+        self.set_accesses[set_idx] += 1
+        if outcome != "local":
+            self.set_misses[set_idx] += 1
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One benchmark at one way count."""
+
+    code: int
+    ways: int
+    full_assoc: bool
+    mpki: float
+    cpi: float
+    set_misses: tuple[int, ...]
+    instructions: int
+
+    def set_mpki(self, set_idx: int) -> float:
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.set_misses[set_idx] / self.instructions
+
+
+def run_way_point(
+    code: int,
+    ways: int,
+    full_assoc: bool = False,
+    scale: ScaleModel = ScaleModel(),
+    quota: int = 120_000,
+    warmup: int = 60_000,
+    seed: int = 11,
+) -> SweepPoint:
+    """Run one benchmark alone with ``ways`` enabled of the sweep cache."""
+    sweep = scale.sweep_l2()
+    geometry = sweep.fully_associative() if full_assoc else sweep.with_ways(ways)
+    config = SystemConfig(
+        num_cores=1,
+        l2_geometry=geometry,
+        l1_geometry=scale.l1(),
+        tick_interval=scale.tick_interval(),
+        seed=seed,
+        quota=quota,
+    )
+    probe = SetStatsProbe()
+    hierarchy = PrivateHierarchy(config, probe)
+    workload = benchmark(code).instantiate(scale, base=1 << 32)
+    Engine(hierarchy, [workload], quota, seed, warmup).run()
+    stats = hierarchy.stats[0]
+    return SweepPoint(
+        code=code,
+        ways=geometry.ways,
+        full_assoc=full_assoc,
+        mpki=stats.mpki,
+        cpi=stats.cpi,
+        set_misses=tuple(probe.set_misses),
+        instructions=stats.instructions,
+    )
+
+
+def sweep_benchmark(
+    code: int,
+    ways_list: list[int] | None = None,
+    include_full_assoc: bool = True,
+    scale: ScaleModel = ScaleModel(),
+    quota: int = 120_000,
+    warmup: int = 60_000,
+) -> list[SweepPoint]:
+    """Figure 1 sweep for one benchmark."""
+    points = [
+        run_way_point(code, ways, scale=scale, quota=quota, warmup=warmup)
+        for ways in (ways_list or FIGURE1_WAYS)
+    ]
+    if include_full_assoc:
+        points.append(
+            run_way_point(code, 0, full_assoc=True, scale=scale, quota=quota, warmup=warmup)
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class SetClassification:
+    """Figure 2 outcome for one way count."""
+
+    code: int
+    ways: int
+    favored_fraction: float
+    constant_fraction: float
+
+
+def classify_sets(
+    previous: SweepPoint, current: SweepPoint, threshold: float = 0.01
+) -> SetClassification:
+    """Apply the paper's 1 % rule between two sweep points (ways-2, ways).
+
+    A set is *constant* when its MPKI does not decrease, or decreases by
+    less than ``threshold`` relative to the previous (two fewer ways)
+    point; otherwise it is *favored*.
+    """
+    sets = len(current.set_misses)
+    favored = 0
+    for s in range(sets):
+        prev_mpki = previous.set_mpki(s)
+        cur_mpki = current.set_mpki(s)
+        if prev_mpki > 0 and cur_mpki < prev_mpki * (1.0 - threshold):
+            favored += 1
+    return SetClassification(
+        code=current.code,
+        ways=current.ways,
+        favored_fraction=favored / sets,
+        constant_fraction=1.0 - favored / sets,
+    )

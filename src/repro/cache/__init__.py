@@ -1,0 +1,16 @@
+"""Cache substrate: geometry, insertion policies, arrays, L1 filter."""
+
+from repro.cache.cache import CacheArray, Line
+from repro.cache.geometry import CacheGeometry
+from repro.cache.insertion import DEFAULT_EPSILON, InsertionPolicy, insertion_position
+from repro.cache.l1 import L1Cache
+
+__all__ = [
+    "CacheArray",
+    "CacheGeometry",
+    "DEFAULT_EPSILON",
+    "InsertionPolicy",
+    "L1Cache",
+    "Line",
+    "insertion_position",
+]

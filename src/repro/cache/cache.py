@@ -1,0 +1,219 @@
+"""Set-associative cache array with explicit recency stacks.
+
+:class:`CacheArray` is the storage substrate shared by the private L2s, the
+banked shared LLC and the L1 filter caches.  Each set is a list of
+:class:`Line` objects ordered by recency (index 0 = MRU, last = LRU), which
+makes the insertion-position semantics of BIP/SABIP direct: inserting a line
+at position *p* places it *p* steps from the top of the stack.
+
+When constructed with a :class:`~repro.coherence.directory.PresenceDirectory`
+the array keeps the chip-wide presence map in sync on every fill, eviction
+and invalidation, so "last copy on chip" queries are always consistent with
+the actual contents.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.coherence.directory import PresenceDirectory
+from repro.coherence.protocol import Mesi
+
+
+class Line:
+    """One cache line: address, MESI state and scheme-specific flags.
+
+    ``spilled`` marks lines that entered this cache through a spill from a
+    peer (used for migration-on-hit and the hits-per-spill statistic).
+    ``shared_region`` marks lines living in the ECC shared region.
+    ``prefetched`` marks lines brought in by the stride prefetcher that have
+    not yet been demanded.
+    """
+
+    __slots__ = ("addr", "state", "spilled", "shared_region", "prefetched")
+
+    def __init__(
+        self,
+        addr: int,
+        state: Mesi,
+        spilled: bool = False,
+        shared_region: bool = False,
+        prefetched: bool = False,
+    ) -> None:
+        self.addr = addr
+        self.state = state
+        self.spilled = spilled
+        self.shared_region = shared_region
+        self.prefetched = prefetched
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            f
+            for f, on in (
+                ("s", self.spilled),
+                ("r", self.shared_region),
+                ("p", self.prefetched),
+            )
+            if on
+        )
+        return f"Line({self.addr:#x},{self.state.value}{',' + flags if flags else ''})"
+
+
+class CacheArray:
+    """A set-associative cache with LRU recency stacks.
+
+    Parameters
+    ----------
+    geometry:
+        Shape of the cache.
+    cache_id:
+        Identifier used in the presence directory (ignored when
+        ``directory`` is ``None``).
+    directory:
+        Optional chip-wide presence map kept in sync with the contents.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        cache_id: int = 0,
+        directory: Optional[PresenceDirectory] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.cache_id = cache_id
+        self.directory = directory
+        self.sets: list[list[Line]] = [[] for _ in range(geometry.sets)]
+        self._index: dict[int, int] = {}  # line addr -> set index (fast probe)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, line_addr: int, promote: bool = True) -> Optional[Line]:
+        """Find ``line_addr``; optionally promote it to MRU.
+
+        Returns the :class:`Line` on a hit, ``None`` on a miss.
+        """
+        if line_addr not in self._index:
+            return None
+        lines = self.sets[self.geometry.set_index(line_addr)]
+        for pos, line in enumerate(lines):
+            if line.addr == line_addr:
+                if promote and pos != 0:
+                    del lines[pos]
+                    lines.insert(0, line)
+                return line
+        raise AssertionError("index/set desync")  # pragma: no cover
+
+    def probe(self, line_addr: int) -> Optional[Line]:
+        """Find ``line_addr`` without touching recency state."""
+        return self.lookup(line_addr, promote=False)
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._index
+
+    def recency_position(self, line_addr: int) -> Optional[int]:
+        """Stack position of a line (0 = MRU), or ``None`` if absent."""
+        if line_addr not in self._index:
+            return None
+        lines = self.sets[self.geometry.set_index(line_addr)]
+        for pos, line in enumerate(lines):
+            if line.addr == line_addr:
+                return pos
+        raise AssertionError("index/set desync")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # Fill / evict / invalidate
+    # ------------------------------------------------------------------ #
+
+    def fill(
+        self,
+        line: Line,
+        position: int,
+        victim_position: Optional[int] = None,
+    ) -> Optional[Line]:
+        """Insert ``line`` at recency ``position``; return the victim, if any.
+
+        When the set is full, the line at ``victim_position`` (default: the
+        LRU end) is evicted first.  ``position`` is clamped to the resulting
+        set occupancy so "insert at LRU" works in a partially filled set.
+        The line must not already be present.
+        """
+        if line.addr in self._index:
+            raise ValueError(f"line {line.addr:#x} already present")
+        set_idx = self.geometry.set_index(line.addr)
+        lines = self.sets[set_idx]
+        victim: Optional[Line] = None
+        if len(lines) >= self.geometry.ways:
+            if victim_position is None:
+                victim_position = len(lines) - 1
+            victim = lines.pop(victim_position)
+            self._drop(victim)
+        position = min(position, len(lines))
+        lines.insert(position, line)
+        self._index[line.addr] = set_idx
+        if self.directory is not None:
+            self.directory.add(line.addr, self.cache_id)
+        return victim
+
+    def evict(self, line_addr: int) -> Line:
+        """Remove a specific line (e.g. the swap partner) and return it."""
+        line = self._remove(line_addr)
+        return line
+
+    def invalidate(self, line_addr: int) -> Optional[Line]:
+        """Remove a line if present (coherence invalidation, back-inval)."""
+        if line_addr not in self._index:
+            return None
+        return self._remove(line_addr)
+
+    def victim_candidate(self, set_idx: int, position: Optional[int] = None) -> Optional[Line]:
+        """Peek at the line that :meth:`fill` would evict (LRU by default).
+
+        Returns ``None`` while the set still has free ways.
+        """
+        lines = self.sets[set_idx]
+        if len(lines) < self.geometry.ways:
+            return None
+        return lines[position if position is not None else len(lines) - 1]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def set_lines(self, set_idx: int) -> list[Line]:
+        """The recency stack of a set (MRU first).  Do not mutate."""
+        return self.sets[set_idx]
+
+    def occupancy(self, set_idx: int) -> int:
+        return len(self.sets[set_idx])
+
+    def iter_lines(self) -> Iterator[Line]:
+        for lines in self.sets:
+            yield from lines
+
+    def __len__(self) -> int:
+        """Number of valid lines currently stored."""
+        return len(self._index)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _remove(self, line_addr: int) -> Line:
+        set_idx = self._index.get(line_addr)
+        if set_idx is None:
+            raise KeyError(f"line {line_addr:#x} not present")
+        lines = self.sets[set_idx]
+        for pos, line in enumerate(lines):
+            if line.addr == line_addr:
+                del lines[pos]
+                self._drop(line)
+                return line
+        raise AssertionError("index/set desync")  # pragma: no cover
+
+    def _drop(self, line: Line) -> None:
+        del self._index[line.addr]
+        if self.directory is not None:
+            self.directory.remove(line.addr, self.cache_id)

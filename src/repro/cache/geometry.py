@@ -1,0 +1,116 @@
+"""Cache geometry: size/associativity/line-size arithmetic.
+
+Every cache in the simulator (L1s, private L2s, the banked shared LLC and
+the way-restricted caches used for the Figure 1/2 sweeps) is described by a
+:class:`CacheGeometry`.  Addresses are byte addresses; a *line address* is
+the byte address shifted right by ``offset_bits``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def _log2(value: int) -> int:
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Shape of a set-associative cache.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total data capacity in bytes.
+    ways:
+        Associativity.  ``ways == lines`` yields a fully-associative cache.
+    line_bytes:
+        Line (block) size in bytes.  The paper uses 32 B throughout.
+    """
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError("geometry fields must be positive")
+        if not _is_power_of_two(self.line_bytes):
+            raise ValueError(f"line size must be a power of two: {self.line_bytes}")
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ValueError(
+                f"size {self.size_bytes} not divisible by ways*line "
+                f"({self.ways}*{self.line_bytes})"
+            )
+        if not _is_power_of_two(self.sets):
+            raise ValueError(f"number of sets must be a power of two: {self.sets}")
+
+    @property
+    def lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def offset_bits(self) -> int:
+        return _log2(self.line_bytes)
+
+    @property
+    def index_bits(self) -> int:
+        return _log2(self.sets)
+
+    def line_addr(self, byte_addr: int) -> int:
+        """Convert a byte address to a line address."""
+        return byte_addr >> self.offset_bits
+
+    def set_index(self, line_addr: int) -> int:
+        """Set index for a line address."""
+        return line_addr & (self.sets - 1)
+
+    def tag(self, line_addr: int) -> int:
+        """Tag bits for a line address."""
+        return line_addr >> self.index_bits
+
+    def tag_bits(self, address_bits: int = 42) -> int:
+        """Width of the stored tag for ``address_bits``-bit addresses.
+
+        Matches the paper's Table 5 computation:
+        ``tag = address_bits - log2(sets) - log2(line_bytes)``.
+        """
+        return address_bits - self.index_bits - self.offset_bits
+
+    def with_ways(self, ways: int) -> "CacheGeometry":
+        """Same number of sets, different associativity.
+
+        Used by the Figure 1/2 way-enabling sweeps, where ways of a 16-way
+        cache are *disabled*: the set count stays fixed while the usable
+        associativity shrinks.
+        """
+        return CacheGeometry(
+            size_bytes=self.sets * ways * self.line_bytes,
+            ways=ways,
+            line_bytes=self.line_bytes,
+        )
+
+    def fully_associative(self) -> "CacheGeometry":
+        """Same capacity as a single set."""
+        return CacheGeometry(
+            size_bytes=self.size_bytes, ways=self.lines, line_bytes=self.line_bytes
+        )
+
+    def scaled(self, factor: float) -> "CacheGeometry":
+        """Scale capacity by ``factor`` keeping ways and line size.
+
+        ``factor`` must keep the set count a positive power of two.
+        """
+        new_size = int(self.size_bytes * factor)
+        return CacheGeometry(new_size, self.ways, self.line_bytes)

@@ -1,0 +1,63 @@
+"""Insertion policies for the recency stack.
+
+The replacement policy everywhere is LRU; what varies between schemes is the
+*insertion position* of a freshly allocated line in the recency stack
+(position 0 = MRU, ``ways - 1`` = LRU):
+
+* ``MRU``   — the traditional policy: insert at the top of the stack.
+* ``LRU``   — insert at the bottom (used by BIP for most insertions).
+* ``LRU_1`` — insert one above the bottom (used by SABIP).
+* ``BIP``   — Bimodal Insertion Policy (Qureshi et al., ISCA'07): MRU with a
+  low probability ``epsilon``, LRU otherwise.  Provides thrashing
+  protection for workloads whose working set exceeds the cache.
+* ``SABIP`` — the paper's Spilling-Aware BIP: MRU with probability
+  ``epsilon``, *LRU-1* otherwise, so that the most recently inserted line is
+  protected from being evicted by an incoming spilled line (which would be
+  placed below it and evicted first).
+
+The paper (and our defaults) use ``epsilon = 1/32``.
+"""
+
+from __future__ import annotations
+
+import enum
+from random import Random
+
+#: Probability of inserting at MRU under BIP/SABIP (paper Section 6).
+DEFAULT_EPSILON = 1.0 / 32.0
+
+
+class InsertionPolicy(enum.Enum):
+    """Where a newly allocated line enters the recency stack."""
+
+    MRU = "mru"
+    LRU = "lru"
+    LRU_1 = "lru-1"
+    BIP = "bip"
+    SABIP = "sabip"
+
+
+def insertion_position(
+    policy: InsertionPolicy,
+    ways: int,
+    rng: Random,
+    epsilon: float = DEFAULT_EPSILON,
+) -> int:
+    """Recency-stack position for a new line under ``policy``.
+
+    ``rng`` supplies the bimodal coin flips so that simulations are
+    reproducible.  For a 1-way cache every policy degenerates to position 0.
+    """
+    if ways <= 1:
+        return 0
+    if policy is InsertionPolicy.MRU:
+        return 0
+    if policy is InsertionPolicy.LRU:
+        return ways - 1
+    if policy is InsertionPolicy.LRU_1:
+        return ways - 2
+    if policy is InsertionPolicy.BIP:
+        return 0 if rng.random() < epsilon else ways - 1
+    if policy is InsertionPolicy.SABIP:
+        return 0 if rng.random() < epsilon else ways - 2
+    raise ValueError(f"unknown insertion policy: {policy!r}")

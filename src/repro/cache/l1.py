@@ -1,0 +1,62 @@
+"""Private write-through L1 filter cache.
+
+The paper's cores have private 32 kB write-through L1s in front of inclusive
+private L2s.  For the LLC policies under study the L1's only relevant roles
+are (a) filtering the access stream the L2 sees and (b) being
+back-invalidated when the inclusive L2 drops a line.  This module models
+exactly that: LRU, write-through (stores never create dirty L1 state),
+write-allocate, with an ``invalidate`` hook for inclusion.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import CacheArray, Line
+from repro.cache.geometry import CacheGeometry
+from repro.coherence.protocol import Mesi
+
+
+class L1Cache:
+    """A small LRU filter cache in front of a private L2."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self._array = CacheArray(geometry)
+        self.hits = 0
+        self.misses = 0
+        self.back_invalidations = 0
+
+    @property
+    def geometry(self) -> CacheGeometry:
+        return self._array.geometry
+
+    def access(self, line_addr: int) -> bool:
+        """Look up a line, promoting on hit.  Returns True on hit.
+
+        Loads and stores behave identically here: the L1 is write-through,
+        so a store hit only generates L2 write traffic (accounted by the
+        caller) and never dirties the L1.
+        """
+        if self._array.lookup(line_addr) is not None:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def allocate(self, line_addr: int) -> None:
+        """Install a line fetched from the L2 (silent LRU eviction)."""
+        if self._array.contains(line_addr):
+            return
+        self._array.fill(Line(line_addr, Mesi.EXCLUSIVE), position=0)
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Back-invalidation from the inclusive L2.  Returns True if held."""
+        line = self._array.invalidate(line_addr)
+        if line is not None:
+            self.back_invalidations += 1
+            return True
+        return False
+
+    def contains(self, line_addr: int) -> bool:
+        return self._array.contains(line_addr)
+
+    def __len__(self) -> int:
+        return len(self._array)

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``schemes``
+    List every scheme the registry can build.
+``mixes``
+    List the paper's 2- and 4-core multiprogrammed mixes.
+``run``
+    Simulate one mix under one scheme and print the headline metrics::
+
+        python -m repro.cli run --mix 471+444 --scheme avgcc
+
+``experiment``
+    Regenerate one of the paper's tables/figures::
+
+        python -m repro.cli experiment fig8
+        python -m repro.cli experiment tab5
+
+``calibrate``
+    Print each benchmark model's measured MPKI/CPI against Table 3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    fig1_ways,
+    fig2_sets,
+    fig4_breakdown,
+    fig5_neutral,
+    fig7_twocore,
+    fig8_fourcore,
+    fig9_fairness,
+    fig10_latency,
+    fig11_qos,
+    sec61_shared,
+    sec62_energy,
+    sec63_multithread,
+    sec63_prefetch,
+    sec64_behavior,
+    sec7_limited,
+    tab1_granularity,
+    tab4_sizes,
+    tab5_cost,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.policies.registry import available_schemes
+from repro.workloads.mixes import MIX2, MIX4, mix_name
+
+#: Experiment name -> (run, format) pair.  Entries taking a runner get one.
+_EXPERIMENTS: dict[str, tuple[Callable, Callable, bool]] = {
+    "fig1": (fig1_ways.run, fig1_ways.format_result, False),
+    "fig2": (fig2_sets.run, fig2_sets.format_result, False),
+    "fig4": (fig4_breakdown.run, fig4_breakdown.format_result, True),
+    "fig5": (fig5_neutral.run, fig5_neutral.format_result, True),
+    "tab1": (tab1_granularity.run, tab1_granularity.format_result, True),
+    "fig7": (fig7_twocore.run, fig7_twocore.format_result, True),
+    "fig8": (fig8_fourcore.run, fig8_fourcore.format_result, True),
+    "fig9": (fig9_fairness.run, fig9_fairness.format_result, True),
+    "fig10": (fig10_latency.run, fig10_latency.format_result, True),
+    "tab4": (tab4_sizes.run, tab4_sizes.format_result, False),
+    "tab5": (tab5_cost.run, tab5_cost.format_result, False),
+    "fig11": (fig11_qos.run, fig11_qos.format_result, True),
+    "sec61": (sec61_shared.run, sec61_shared.format_result, False),
+    "sec62": (sec62_energy.run, sec62_energy.format_result, False),
+    "sec63mt": (sec63_multithread.run, sec63_multithread.format_result, False),
+    "sec63pf": (sec63_prefetch.run, sec63_prefetch.format_result, False),
+    "sec64": (sec64_behavior.run, sec64_behavior.format_result, False),
+    "sec7": (sec7_limited.run, sec7_limited.format_result, True),
+}
+
+
+def _cmd_schemes(_: argparse.Namespace) -> int:
+    for name in available_schemes():
+        print(name)
+    print("ascc/<sets-per-counter>   (Table 1 fixed granularities)")
+    print("avgcc/<max-counters>      (Section 7 cost-limited variants)")
+    print("shared                    (Section 6.1 banked shared LLC)")
+    return 0
+
+
+def _cmd_mixes(_: argparse.Namespace) -> int:
+    print("2-core mixes:")
+    for mix in MIX2:
+        print(f"  {mix_name(mix)}")
+    print("4-core mixes (Table 1):")
+    for mix in MIX4:
+        print(f"  {mix_name(mix)}")
+    return 0
+
+
+def _parse_mix(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split("+"))
+    except ValueError:
+        raise SystemExit(f"bad mix {text!r}: expected codes like 471+444")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    mix = _parse_mix(args.mix)
+    runner = ExperimentRunner(quota=args.quota, warmup=args.warmup, seed=args.seed)
+    outcome = runner.outcome(mix, args.scheme)
+    result = outcome.result
+    breakdown = result.access_breakdown()
+    print(f"mix {mix_name(mix)} under {args.scheme}:")
+    print(f"  weighted speedup improvement : {outcome.speedup_improvement:+.2%}")
+    print(f"  fairness improvement         : {outcome.fairness_improvement:+.2%}")
+    print(f"  AML reduction                : {outcome.aml_improvement:+.2%}")
+    print(f"  off-chip access reduction    : {outcome.offchip_reduction:+.2%}")
+    print(
+        f"  L2 local/remote/memory       : "
+        f"{breakdown['local']:.1%} / {breakdown['remote']:.1%} / {breakdown['memory']:.1%}"
+    )
+    print(f"  spills {result.total_spills}, hits/spill {result.hits_per_spill:.2f}")
+    for core in result.cores:
+        print(
+            f"  core{core.core_id}: CPI {core.cpi:.2f}, MPKI {core.mpki:.2f}, "
+            f"off-chip MPKI {core.offchip_mpki:.2f}"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    try:
+        run, fmt, needs_runner = _EXPERIMENTS[args.name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {args.name!r}; available: {', '.join(sorted(_EXPERIMENTS))}"
+        )
+    result = run(ExperimentRunner()) if needs_runner else run()
+    print(fmt(result))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.analysis.calibration import calibrate, format_calibration
+
+    runner = ExperimentRunner(quota=args.quota, warmup=args.warmup)
+    print(format_calibration(calibrate(runner)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the repro CLI."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schemes", help="list available schemes").set_defaults(fn=_cmd_schemes)
+    sub.add_parser("mixes", help="list the paper's mixes").set_defaults(fn=_cmd_mixes)
+
+    run_p = sub.add_parser("run", help="simulate one mix under one scheme")
+    run_p.add_argument("--mix", required=True, help="e.g. 471+444")
+    run_p.add_argument("--scheme", default="avgcc")
+    run_p.add_argument("--quota", type=int, default=150_000)
+    run_p.add_argument("--warmup", type=int, default=150_000)
+    run_p.add_argument("--seed", type=int, default=7)
+    run_p.set_defaults(fn=_cmd_run)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
+    exp_p.add_argument("name", help=", ".join(sorted(_EXPERIMENTS)))
+    exp_p.set_defaults(fn=_cmd_experiment)
+
+    cal_p = sub.add_parser("calibrate", help="compare models against Table 3")
+    cal_p.add_argument("--quota", type=int, default=100_000)
+    cal_p.add_argument("--warmup", type=int, default=60_000)
+    cal_p.set_defaults(fn=_cmd_calibrate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Functional MESI coherence: protocol states and on-chip presence."""
+
+from repro.coherence.directory import PresenceDirectory
+from repro.coherence.protocol import Mesi, fill_state, next_state
+
+__all__ = ["Mesi", "PresenceDirectory", "fill_state", "next_state"]

@@ -1,0 +1,71 @@
+"""Functional model of the MESI broadcast: on-chip presence tracking.
+
+The paper's baseline uses a MESI-based broadcasting protocol: on an LLC
+miss, all peer LLCs are snooped, and spill/receive schemes reuse that lookup
+to locate spilled lines ("where they can be found later using the coherence
+mechanism").  Rather than modelling individual snoop messages, we keep a
+chip-wide presence map — a faithful functional equivalent of what a
+broadcast would discover — and charge latency in the timing layer.
+
+The map is the single source of truth for two questions every policy asks:
+
+* *Is this victim the last copy on chip?*  (Only last copies are spilled.)
+* *Which peer caches hold this line?*  (Remote-hit resolution.)
+"""
+
+from __future__ import annotations
+
+
+class PresenceDirectory:
+    """Tracks, per line address, which caches hold a valid copy."""
+
+    def __init__(self, num_caches: int) -> None:
+        if num_caches <= 0:
+            raise ValueError("need at least one cache")
+        self.num_caches = num_caches
+        self._holders: dict[int, set[int]] = {}
+
+    def add(self, line_addr: int, cache_id: int) -> None:
+        """Record that ``cache_id`` now holds ``line_addr``."""
+        self._check_id(cache_id)
+        self._holders.setdefault(line_addr, set()).add(cache_id)
+
+    def remove(self, line_addr: int, cache_id: int) -> None:
+        """Record that ``cache_id`` no longer holds ``line_addr``."""
+        self._check_id(cache_id)
+        holders = self._holders.get(line_addr)
+        if holders is None or cache_id not in holders:
+            raise KeyError(f"cache {cache_id} does not hold line {line_addr:#x}")
+        holders.discard(cache_id)
+        if not holders:
+            del self._holders[line_addr]
+
+    def holders(self, line_addr: int) -> frozenset[int]:
+        """All caches holding ``line_addr`` (possibly empty)."""
+        return frozenset(self._holders.get(line_addr, ()))
+
+    def peers(self, line_addr: int, cache_id: int) -> list[int]:
+        """Caches other than ``cache_id`` holding ``line_addr``."""
+        holders = self._holders.get(line_addr)
+        if not holders:
+            return []
+        return [c for c in holders if c != cache_id]
+
+    def is_last_copy(self, line_addr: int, cache_id: int) -> bool:
+        """True when ``cache_id`` holds the only on-chip copy."""
+        holders = self._holders.get(line_addr)
+        return holders is not None and holders == {cache_id}
+
+    def is_on_chip(self, line_addr: int) -> bool:
+        return line_addr in self._holders
+
+    def holder_count(self, line_addr: int) -> int:
+        return len(self._holders.get(line_addr, ()))
+
+    def __len__(self) -> int:
+        """Number of distinct line addresses tracked."""
+        return len(self._holders)
+
+    def _check_id(self, cache_id: int) -> None:
+        if not 0 <= cache_id < self.num_caches:
+            raise ValueError(f"cache id {cache_id} out of range")

@@ -1,0 +1,70 @@
+"""MESI coherence states and transition checks.
+
+The simulator models the *functional outcome* of a MESI broadcast protocol
+(who holds a line, which copy is dirty, which requests hit remotely) rather
+than individual bus messages; see :mod:`repro.coherence.directory`.  This
+module pins down the state machine itself so transitions can be validated in
+tests and by the directory.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Mesi(enum.Enum):
+    """MESI line states."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def is_dirty(self) -> bool:
+        return self is Mesi.MODIFIED
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not Mesi.INVALID
+
+
+#: Legal local transitions ``(current, event) -> next``.
+#: Events: ``read_hit``, ``write_hit``, ``remote_read`` (another cache reads
+#: the line), ``remote_write`` (another cache writes), ``evict``.
+TRANSITIONS: dict[tuple[Mesi, str], Mesi] = {
+    (Mesi.MODIFIED, "read_hit"): Mesi.MODIFIED,
+    (Mesi.MODIFIED, "write_hit"): Mesi.MODIFIED,
+    (Mesi.MODIFIED, "remote_read"): Mesi.SHARED,
+    (Mesi.MODIFIED, "remote_write"): Mesi.INVALID,
+    (Mesi.MODIFIED, "evict"): Mesi.INVALID,
+    (Mesi.EXCLUSIVE, "read_hit"): Mesi.EXCLUSIVE,
+    (Mesi.EXCLUSIVE, "write_hit"): Mesi.MODIFIED,
+    (Mesi.EXCLUSIVE, "remote_read"): Mesi.SHARED,
+    (Mesi.EXCLUSIVE, "remote_write"): Mesi.INVALID,
+    (Mesi.EXCLUSIVE, "evict"): Mesi.INVALID,
+    (Mesi.SHARED, "read_hit"): Mesi.SHARED,
+    (Mesi.SHARED, "write_hit"): Mesi.MODIFIED,
+    (Mesi.SHARED, "remote_read"): Mesi.SHARED,
+    (Mesi.SHARED, "remote_write"): Mesi.INVALID,
+    (Mesi.SHARED, "evict"): Mesi.INVALID,
+}
+
+
+def next_state(current: Mesi, event: str) -> Mesi:
+    """Next MESI state after ``event``; raises on an illegal transition."""
+    try:
+        return TRANSITIONS[(current, event)]
+    except KeyError:
+        raise ValueError(f"illegal transition: {current} on {event!r}") from None
+
+
+def fill_state(is_write: bool, others_hold_copy: bool) -> Mesi:
+    """State of a newly filled line.
+
+    Writes always allocate in M (write-allocate).  Reads allocate in S when
+    another on-chip copy remains, in E otherwise.
+    """
+    if is_write:
+        return Mesi.MODIFIED
+    return Mesi.SHARED if others_hold_copy else Mesi.EXCLUSIVE

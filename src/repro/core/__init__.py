@@ -1,0 +1,42 @@
+"""The paper's contribution: ASCC, AVGCC and the QoS extension.
+
+Policy classes are exported lazily (PEP 562) because they subclass
+:class:`repro.policies.base.LLCPolicy`, which itself depends on the leaf
+modules of this package (:mod:`repro.core.states`).
+"""
+
+from repro.core.saturation import SetStateBank
+from repro.core.states import SetRole, role_for_ssl, role_for_ssl_two_state
+
+__all__ = [
+    "ASCC",
+    "AVGCC",
+    "HardwareGranularityTracker",
+    "QoSAVGCC",
+    "SetRole",
+    "SetStateBank",
+    "make_ascc",
+    "make_ascc_2s",
+    "make_ascc_granular",
+    "role_for_ssl",
+    "role_for_ssl_two_state",
+]
+
+_LAZY = {
+    "ASCC": "repro.core.ascc",
+    "make_ascc": "repro.core.ascc",
+    "make_ascc_2s": "repro.core.ascc",
+    "make_ascc_granular": "repro.core.ascc",
+    "AVGCC": "repro.core.avgcc",
+    "HardwareGranularityTracker": "repro.core.avgcc",
+    "QoSAVGCC": "repro.core.qos",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,175 @@
+"""Adaptive Variable-Granularity Cooperative Caching (Section 4).
+
+AVGCC starts with **one** saturation counter per cache and adapts each
+cache's granularity independently, every 100 000 accesses:
+
+* **duplicate** the counters in use (finer granularity, ``D -= 1``) when
+  more than half of them have a value below ``K`` — most sets could donate
+  space, so track them more precisely (the ``B`` condition);
+* **halve** the counters in use (coarser, ``D += 1``) when every pair of
+  neighbour counters differs by at most 2 *and* applies the same insertion
+  policy — they carry redundant information (the ``A`` condition);
+* after a change, new counters start at ``K - 1`` with MRU insertion.
+
+The simulation recomputes the A/B conditions at each periodic check, which
+is decision-equivalent to the hardware; :class:`HardwareGranularityTracker`
+additionally models the paper's incremental A/B counters (Section 4.1) —
+the flip-flop-based update around every SSL change — and tests assert it
+always agrees with the recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.insertion import DEFAULT_EPSILON, InsertionPolicy
+from repro.core.ascc import ASCC
+from repro.core.saturation import SetStateBank
+
+
+class AVGCC(ASCC):
+    """ASCC with per-cache dynamic granularity.
+
+    ``max_counters`` caps the finest granularity (Section 7's cost-limited
+    variants: 128 or 2048 counters instead of one per set).
+    """
+
+    name = "avgcc"
+
+    def __init__(
+        self,
+        max_counters: Optional[int] = None,
+        capacity_policy: Optional[InsertionPolicy] = InsertionPolicy.SABIP,
+        epsilon: float = DEFAULT_EPSILON,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            granularity_log2=None,  # start with one counter per cache
+            capacity_policy=capacity_policy,
+            receiver_selection="min",
+            epsilon=epsilon,
+            name=name,
+        )
+        if max_counters is not None and (
+            max_counters <= 0 or max_counters & (max_counters - 1)
+        ):
+            raise ValueError("max_counters must be a positive power of two")
+        self.max_counters = max_counters
+        self._min_d = 0
+
+    def _setup(self) -> None:
+        super()._setup()
+        assert self.geometry is not None
+        sets = self.geometry.sets
+        self._min_d = 0
+        if self.max_counters is not None and self.max_counters < sets:
+            self._min_d = (sets // self.max_counters).bit_length() - 1
+
+    def tick(self) -> None:
+        """Periodic re-grain of every cache (paper: every 100 000 accesses)."""
+        super().tick()  # counter decay
+        for bank in self.banks:
+            self._adjust(bank)
+
+    def _adjust(self, bank: SetStateBank) -> None:
+        in_use = bank.counters_in_use
+        d = bank.granularity_log2
+        low = bank.low_value_count()  # the B counter's value
+        if low > in_use // 2 and d > self._min_d:
+            # Most groups can donate space: duplicate the counters in use.
+            bank.set_granularity(d - 1)
+            return
+        similar = bank.similar_pair_count()  # the A counter's value
+        if in_use >= 2 and similar == in_use // 2 and d < bank.max_granularity_log2:
+            # Every neighbour pair is redundant: halve the counters in use.
+            bank.set_granularity(d + 1)
+
+    def describe(self) -> str:
+        ds = [bank.granularity_log2 for bank in self.banks]
+        return f"{self.name}(D={ds}, max_counters={self.max_counters})"
+
+
+class HardwareGranularityTracker:
+    """Bit-exact model of the Section 4.1 A/B/D counter hardware.
+
+    Wraps a :class:`SetStateBank` and maintains:
+
+    * ``A`` — how many neighbour-counter pairs currently satisfy the
+      halving condition, updated with the paper's flip-flop scheme: the
+      pair condition is evaluated before and after each SSL update and
+      ``A`` is adjusted only when the evaluation changes;
+    * ``B`` — how many in-use counters are below ``K``, updated on
+      ``K-1 <-> K`` crossings;
+    * ``D`` — the granularity, updated from A and B at the periodic check.
+
+    The simulation itself uses the recomputed quantities (decision-
+    equivalent); this class exists so tests can prove the incremental
+    hardware tracks them exactly.
+    """
+
+    def __init__(self, bank: SetStateBank) -> None:
+        self.bank = bank
+        self.a = bank.similar_pair_count()
+        self.b = bank.low_value_count()
+
+    def on_hit(self, set_idx: int) -> None:
+        self._update(set_idx, hit=True)
+
+    def on_miss(self, set_idx: int) -> None:
+        self._update(set_idx, hit=False)
+
+    def on_regrain(self) -> None:
+        """After ``set_granularity`` the counters were re-initialised."""
+        self.a = self.bank.similar_pair_count()
+        self.b = self.bank.low_value_count()
+
+    def on_capacity_mode_change(self, set_idx: int, enter: bool) -> None:
+        """The insertion-policy bit also participates in the A condition."""
+        ctr = self.bank.counter_index(set_idx)
+        before = self._pair_condition(ctr)
+        if enter:
+            self.bank.enter_capacity_mode(set_idx)
+        else:
+            self.bank.leave_capacity_mode(set_idx)
+        self._apply_pair_delta(ctr, before)
+
+    # ------------------------------------------------------------------ #
+
+    def _update(self, set_idx: int, hit: bool) -> None:
+        bank = self.bank
+        ctr = bank.counter_index(set_idx)
+        before_low = bank.counter_value(ctr) < bank.ways
+        before_pair = self._pair_condition(ctr)
+        if hit:
+            bank.on_hit(set_idx)
+        else:
+            bank.on_miss(set_idx)
+        after_low = bank.counter_value(ctr) < bank.ways
+        if after_low and not before_low:
+            self.b += 1
+        elif before_low and not after_low:
+            self.b -= 1
+        self._apply_pair_delta(ctr, before_pair)
+
+    def _apply_pair_delta(self, ctr: int, before: Optional[bool]) -> None:
+        after = self._pair_condition(ctr)
+        if before is None or after is None:
+            return
+        if after and not before:
+            self.a += 1
+        elif before and not after:
+            self.a -= 1
+
+    def _pair_condition(self, ctr: int) -> Optional[bool]:
+        """Evaluate the halving condition for the pair containing ``ctr``.
+
+        Returns ``None`` when ``ctr`` has no in-use partner (odd tail).
+        """
+        bank = self.bank
+        first = ctr & ~1
+        second = first + 1
+        if second >= bank.counters_in_use:
+            return None
+        diff = abs(bank.counter_value(first) - bank.counter_value(second))
+        same_policy = bank.capacity_mode_of_counter(first) == bank.capacity_mode_of_counter(second)
+        return diff <= 2 and same_policy

@@ -1,0 +1,52 @@
+"""The Figure 4 design-breakdown variants.
+
+The paper justifies each ASCC ingredient by measuring intermediate designs:
+
+* **LRS** (Local Random Spilling): per-set counters, *random* receiver
+  among caches with SSL < K, no insertion-policy adaptation.
+* **LMS** (Local Minimum Spilling): LRS but picking the *minimum*-SSL
+  receiver.
+* **GMS** (Global Minimum Spilling): one counter per cache (all sets share
+  one behaviour), minimum-SSL receiver.
+* **LMS+BIP**: LMS plus plain BIP as the capacity policy.
+* **GMS+SABIP**: GMS plus SABIP (one insertion-policy bit per cache).
+* **ASCC** itself is LMS+SABIP.
+
+All are configurations of :class:`repro.core.ascc.ASCC`.
+"""
+
+from __future__ import annotations
+
+from repro.cache.insertion import InsertionPolicy
+from repro.core.ascc import ASCC
+
+
+def make_lrs() -> ASCC:
+    """Local Random Spilling."""
+    return ASCC(capacity_policy=None, receiver_selection="random", name="lrs")
+
+
+def make_lms() -> ASCC:
+    """Local Minimum Spilling."""
+    return ASCC(capacity_policy=None, receiver_selection="min", name="lms")
+
+
+def make_gms() -> ASCC:
+    """Global Minimum Spilling: one saturation counter per cache."""
+    return ASCC(
+        granularity_log2=None, capacity_policy=None, receiver_selection="min",
+        name="gms",
+    )
+
+
+def make_lms_bip() -> ASCC:
+    """LMS with plain BIP handling capacity problems."""
+    return ASCC(capacity_policy=InsertionPolicy.BIP, name="lms+bip")
+
+
+def make_gms_sabip() -> ASCC:
+    """GMS with SABIP and a single insertion-policy bit per cache."""
+    return ASCC(
+        granularity_log2=None, capacity_policy=InsertionPolicy.SABIP,
+        name="gms+sabip",
+    )

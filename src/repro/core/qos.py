@@ -1,0 +1,114 @@
+"""Quality-of-Service Aware AVGCC (Section 8).
+
+AVGCC occasionally degrades a workload (e.g. 429+401 in Figure 10, where
+local hits become remote hits).  The QoS extension detects harm and
+throttles the mechanism by shrinking the SSL *miss increment*:
+
+* the baseline cache's miss count ``MBC`` is estimated from *sampled sets*
+  — sets under traditional MRU insertion whose SSL exceeds ``K - 1``, which
+  therefore cannot be receiving lines::
+
+      MBC = CacheSets * SampledSetMisses / SampledSets
+
+* the actual miss count ``MissesWithAVGCC`` is a plain counter;
+* every period (together with the granularity check)::
+
+      QoSRatio = MBC / max(MBC, MissesWithAVGCC)
+
+  quantised to 1.3 fixed point, becomes the per-miss SSL increment
+  (counters are 4.3 fixed point), while hits still decrement by one.
+
+A ratio below one slows SSL growth, keeping sets out of the spiller state
+and out of capacity mode — "stopping spillings and fixing the insertion
+policy to MRU" exactly when AVGCC is hurting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.insertion import DEFAULT_EPSILON, InsertionPolicy
+from repro.core.avgcc import AVGCC
+from repro.core.saturation import SetStateBank
+
+#: Fixed-point fraction bits: QoSRatio is 1.3, SSL counters are 4.3.
+QOS_FRACTION_BITS = 3
+
+
+class QoSAVGCC(AVGCC):
+    """AVGCC with the Section 8 QoS inhibition mechanism."""
+
+    name = "qos-avgcc"
+
+    def __init__(
+        self,
+        max_counters: Optional[int] = None,
+        capacity_policy: Optional[InsertionPolicy] = InsertionPolicy.SABIP,
+        epsilon: float = DEFAULT_EPSILON,
+    ) -> None:
+        super().__init__(
+            max_counters=max_counters, capacity_policy=capacity_policy,
+            epsilon=epsilon,
+        )
+        self._misses_with: list[int] = []
+        self._sampled_misses: list[int] = []
+        self.qos_ratios: list[float] = []
+
+    def _make_bank(self, sets: int, ways: int, granularity_log2: int) -> SetStateBank:
+        return SetStateBank(
+            sets, ways, granularity_log2=granularity_log2,
+            fraction_bits=QOS_FRACTION_BITS,
+        )
+
+    def _setup(self) -> None:
+        super()._setup()
+        self._misses_with = [0] * self.num_caches
+        self._sampled_misses = [0] * self.num_caches
+        self.qos_ratios = [1.0] * self.num_caches
+
+    def on_access(self, cache_id: int, set_idx: int, outcome: str) -> None:
+        if outcome == "miss":
+            # Harm detection compares off-chip misses: the baseline cache
+            # has no remote hits, so only memory misses are comparable.
+            self._misses_with[cache_id] += 1
+            if self._is_sampled(cache_id, set_idx):
+                self._sampled_misses[cache_id] += 1
+        super().on_access(cache_id, set_idx, outcome)
+
+    def tick(self) -> None:
+        """Recompute QoSRatio per cache, then re-grain (same period)."""
+        assert self.geometry is not None
+        cache_sets = self.geometry.sets
+        for cache_id, bank in enumerate(self.banks):
+            sampled_sets = self._count_sampled_sets(bank)
+            misses = self._misses_with[cache_id]
+            if sampled_sets == 0 or misses == 0:
+                ratio = 1.0
+            else:
+                mbc = cache_sets * self._sampled_misses[cache_id] / sampled_sets
+                ratio = mbc / max(mbc, misses) if mbc > 0 else 0.0
+            # Quantise to 1.3 fixed point, as the hardware stores it.
+            ratio = round(ratio * (1 << QOS_FRACTION_BITS)) / (1 << QOS_FRACTION_BITS)
+            self.qos_ratios[cache_id] = ratio
+            bank.set_miss_increment(ratio)
+            self._misses_with[cache_id] = 0
+            self._sampled_misses[cache_id] = 0
+        super().tick()
+
+    # ------------------------------------------------------------------ #
+
+    def _is_sampled(self, cache_id: int, set_idx: int) -> bool:
+        """Sampled sets: MRU insertion and SSL > K-1 (cannot receive)."""
+        bank = self.banks[cache_id]
+        return (
+            not bank.in_capacity_mode(set_idx)
+            and bank.value(set_idx) > bank.ways - 1
+        )
+
+    def _count_sampled_sets(self, bank: SetStateBank) -> int:
+        group = 1 << bank.granularity_log2
+        count = 0
+        for ctr in range(bank.counters_in_use):
+            if not bank.capacity_mode_of_counter(ctr) and bank.counter_value(ctr) > bank.ways - 1:
+                count += group
+        return count

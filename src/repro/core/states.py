@@ -1,0 +1,41 @@
+"""Set roles and the SSL thresholds that define them.
+
+ASCC classifies each set (or group of sets) by its Set Saturation Level
+(SSL), a saturating counter in ``[0, 2K-1]`` where ``K`` is the cache
+associativity (paper Section 3.1):
+
+* ``SSL < K``            → **receiver**: the set holds its working set and
+  has underutilized lines that peers may borrow.
+* ``K <= SSL < 2K-1``    → **neutral**: under pressure; neither donates
+  space nor spills.
+* ``SSL == 2K-1``        → **spiller**: saturated with misses; evicted last
+  copies are spilled to a receiver set elsewhere.
+
+The 2-state ablation (ASCC-2S, Figure 5) drops the neutral band.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SetRole(enum.Enum):
+    """Role a set (or whole cache) plays in the spill mechanism."""
+
+    RECEIVER = "receiver"
+    NEUTRAL = "neutral"
+    SPILLER = "spiller"
+
+
+def role_for_ssl(ssl: int, ways: int) -> SetRole:
+    """Three-state classification used by ASCC/AVGCC."""
+    if ssl < ways:
+        return SetRole.RECEIVER
+    if ssl >= 2 * ways - 1:
+        return SetRole.SPILLER
+    return SetRole.NEUTRAL
+
+
+def role_for_ssl_two_state(ssl: int, ways: int) -> SetRole:
+    """ASCC-2S: spiller when ``SSL >= K``, receiver otherwise."""
+    return SetRole.SPILLER if ssl >= ways else SetRole.RECEIVER

@@ -1,0 +1,6 @@
+"""Core timing model and the stride prefetcher."""
+
+from repro.cpu.prefetch import StridePrefetcher
+from repro.cpu.timing import TimingModel
+
+__all__ = ["StridePrefetcher", "TimingModel"]

@@ -1,0 +1,45 @@
+"""Core timing model.
+
+The paper's four-issue out-of-order cores are replaced by an analytic model
+(see DESIGN.md, substitution table): each instruction costs ``base_cpi``
+cycles (covering issue width, non-memory execution and L1 hits), and every
+access that leaves the L1 adds ``latency / mlp`` stall cycles, where ``mlp``
+is the benchmark's memory-level parallelism — the average number of
+outstanding misses an OoO window sustains.  CPI is then an affine function
+of the L2 outcome mix, which is exactly the quantity the LLC policies
+change, so relative speedups are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Analytic replacement for an out-of-order core."""
+
+    base_cpi: float
+    mlp: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+        if self.mlp < 1.0:
+            raise ValueError("mlp must be >= 1 (no negative overlap)")
+
+    def instruction_cycles(self, count: int) -> float:
+        """Cycles to commit ``count`` instructions ignoring L2+ stalls."""
+        return count * self.base_cpi
+
+    def stall_cycles(self, latency: float) -> float:
+        """Exposed stall for one beyond-L1 access of ``latency`` cycles."""
+        return latency / self.mlp
+
+    def expected_cpi(self, l2_apki: float, avg_latency: float) -> float:
+        """Closed-form CPI given L2 accesses-per-kilo-instruction.
+
+        Useful for calibration tests: with ``a`` L2 accesses per 1000
+        instructions at average latency ``L``, CPI = base + a*L/(1000*mlp).
+        """
+        return self.base_cpi + l2_apki * avg_latency / (1000.0 * self.mlp)

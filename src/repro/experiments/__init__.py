@@ -1,0 +1,5 @@
+"""Experiment modules: one per paper table/figure plus the runner."""
+
+from repro.experiments.runner import ExperimentRunner, MixOutcome, run_mix
+
+__all__ = ["ExperimentRunner", "MixOutcome", "run_mix"]

@@ -1,0 +1,30 @@
+"""Figure 11: QoS-Aware AVGCC vs AVGCC on two-core mixes.
+
+The QoS extension should remove AVGCC's per-mix losses (e.g. 429+401)
+while keeping, and on the geomean slightly improving, the gains.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.comparison import ComparisonResult, compare, format_comparison
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.mixes import MIX2
+
+SCHEMES = ["avgcc", "qos-avgcc"]
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    mixes: list[tuple[int, ...]] | None = None,
+) -> ComparisonResult:
+    """Run the Figure 11 QoS comparison."""
+    return compare(
+        runner or ExperimentRunner(),
+        "Figure 11: QoS-Aware AVGCC vs AVGCC, weighted-speedup improvement (2 cores)",
+        mixes if mixes is not None else list(MIX2),
+        SCHEMES,
+        metric="speedup",
+    )
+
+
+format_result = format_comparison

@@ -1,0 +1,32 @@
+"""Figure 4: the ASCC design breakdown on four-application mixes.
+
+Compares LRS, LMS, GMS, LMS+BIP, GMS+SABIP, DSR and ASCC, isolating the
+contribution of min-SSL receiver selection (LRS vs LMS), per-set vs global
+metrics (LMS vs GMS), the capacity insertion policy (LMS vs LMS+BIP) and
+SABIP (LMS+BIP vs ASCC).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.comparison import ComparisonResult, compare, format_comparison
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.mixes import MIX4
+
+SCHEMES = ["lrs", "lms", "gms", "lms+bip", "gms+sabip", "dsr", "ascc"]
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    mixes: list[tuple[int, ...]] | None = None,
+) -> ComparisonResult:
+    """Run the Figure 4 design-breakdown matrix."""
+    return compare(
+        runner or ExperimentRunner(),
+        "Figure 4: design breakdown, weighted-speedup improvement (4 cores)",
+        mixes if mixes is not None else list(MIX4),
+        SCHEMES,
+        metric="speedup",
+    )
+
+
+format_result = format_comparison

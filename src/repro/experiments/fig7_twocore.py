@@ -1,0 +1,26 @@
+"""Figure 7: two-core improvement for DSR, DSR+DIP, ECC, ASCC, AVGCC."""
+
+from __future__ import annotations
+
+from repro.experiments.comparison import ComparisonResult, compare, format_comparison
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.mixes import MIX2
+
+SCHEMES = ["dsr", "dsr+dip", "ecc", "ascc", "avgcc"]
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    mixes: list[tuple[int, ...]] | None = None,
+) -> ComparisonResult:
+    """Run the Figure 7 two-core comparison."""
+    return compare(
+        runner or ExperimentRunner(),
+        "Figure 7: weighted-speedup improvement over baseline (2 cores)",
+        mixes if mixes is not None else list(MIX2),
+        SCHEMES,
+        metric="speedup",
+    )
+
+
+format_result = format_comparison

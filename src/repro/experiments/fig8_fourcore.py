@@ -1,0 +1,31 @@
+"""Figure 8: four-core improvement for DSR, DSR+DIP, ECC, ASCC, AVGCC.
+
+The headline result: AVGCC +7.8% and ASCC +5.7% in the paper, both ahead
+of the prior schemes, with DSR+DIP degrading relative to its 2-core
+showing as spill traffic grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.comparison import ComparisonResult, compare, format_comparison
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.mixes import MIX4
+
+SCHEMES = ["dsr", "dsr+dip", "ecc", "ascc", "avgcc"]
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    mixes: list[tuple[int, ...]] | None = None,
+) -> ComparisonResult:
+    """Run the Figure 8 four-core comparison."""
+    return compare(
+        runner or ExperimentRunner(),
+        "Figure 8: weighted-speedup improvement over baseline (4 cores)",
+        mixes if mixes is not None else list(MIX4),
+        SCHEMES,
+        metric="speedup",
+    )
+
+
+format_result = format_comparison

@@ -1,0 +1,26 @@
+"""Figure 9: fairness (harmonic mean of normalised IPCs), 4 cores."""
+
+from __future__ import annotations
+
+from repro.experiments.comparison import ComparisonResult, compare, format_comparison
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.mixes import MIX4
+
+SCHEMES = ["dsr", "dsr+dip", "ecc", "ascc", "avgcc"]
+
+
+def run(
+    runner: ExperimentRunner | None = None,
+    mixes: list[tuple[int, ...]] | None = None,
+) -> ComparisonResult:
+    """Run the Figure 9 fairness comparison."""
+    return compare(
+        runner or ExperimentRunner(),
+        "Figure 9: fairness improvement over baseline (4 cores)",
+        mixes if mixes is not None else list(MIX4),
+        SCHEMES,
+        metric="fairness",
+    )
+
+
+format_result = format_comparison

@@ -1,0 +1,156 @@
+"""Experiment runner: (mix x scheme) simulations with shared baselines.
+
+Every paper figure compares schemes against the private-LRU baseline and
+normalises per-application IPCs by stand-alone runs.  The runner caches
+both — each mix's baseline result and each benchmark's stand-alone IPC —
+so a figure's scheme sweep reuses them.
+
+``scheme`` names come from :mod:`repro.policies.registry`; the special name
+``"shared"`` builds the Section 6.1 banked shared LLC instead of private
+caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.latency import LatencyBreakdown, latency_breakdown
+from repro.metrics.speedup import (
+    harmonic_mean_speedup,
+    improvement,
+    weighted_speedup,
+)
+from repro.policies.registry import make_policy
+from repro.sim.config import PAPER_L2, PrefetchConfig, ScaleModel, default_config
+from repro.sim.engine import Engine
+from repro.sim.results import SystemResult
+from repro.sim.system import PrivateHierarchy, SharedHierarchy
+from repro.workloads.mixes import make_workloads, mix_name
+
+#: Scheme name handled by the runner rather than the policy registry.
+SHARED_SCHEME = "shared"
+
+
+@dataclass(frozen=True)
+class MixOutcome:
+    """A scheme's result on one mix, normalised against the baseline."""
+
+    result: SystemResult
+    baseline: SystemResult
+    alone_ipcs: tuple[float, ...]
+
+    @property
+    def speedup_improvement(self) -> float:
+        """Weighted-speedup gain over the baseline (0.078 = +7.8 %)."""
+        ws = weighted_speedup(self.result, list(self.alone_ipcs))
+        ws_base = weighted_speedup(self.baseline, list(self.alone_ipcs))
+        return improvement(ws, ws_base)
+
+    @property
+    def fairness_improvement(self) -> float:
+        """Harmonic-mean-of-IPCs gain over the baseline (Figure 9)."""
+        hm = harmonic_mean_speedup(self.result, list(self.alone_ipcs))
+        hm_base = harmonic_mean_speedup(self.baseline, list(self.alone_ipcs))
+        return improvement(hm, hm_base)
+
+    @property
+    def latency(self) -> LatencyBreakdown:
+        return latency_breakdown(self.result, self.baseline)
+
+    @property
+    def aml_improvement(self) -> float:
+        """Average-memory-latency reduction over the baseline (Figure 10)."""
+        return self.latency.improvement
+
+    @property
+    def offchip_reduction(self) -> float:
+        """Reduction in off-chip accesses (Table 4's metric)."""
+        base = self.baseline.total_offchip_accesses
+        if base == 0:
+            return 0.0
+        return 1.0 - self.result.total_offchip_accesses / base
+
+
+class ExperimentRunner:
+    """Runs and caches the simulations behind the paper's figures."""
+
+    def __init__(
+        self,
+        scale: ScaleModel = ScaleModel(),
+        quota: int = 150_000,
+        warmup: int = 150_000,
+        seed: int = 7,
+        l2_paper_bytes: int = PAPER_L2.size_bytes,
+        prefetch: Optional[PrefetchConfig] = None,
+    ) -> None:
+        self.scale = scale
+        self.quota = quota
+        self.warmup = warmup
+        self.seed = seed
+        self.l2_paper_bytes = l2_paper_bytes
+        self.prefetch = prefetch
+        self._alone_ipc: dict[int, float] = {}
+        self._results: dict[tuple[tuple[int, ...], str], SystemResult] = {}
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+
+    def run(self, codes: tuple[int, ...], scheme: str) -> SystemResult:
+        """Simulate a mix under a scheme (cached)."""
+        key = (tuple(codes), scheme)
+        if key not in self._results:
+            self._results[key] = self._simulate(tuple(codes), scheme)
+        return self._results[key]
+
+    def outcome(self, codes: tuple[int, ...], scheme: str) -> MixOutcome:
+        """Scheme result with baseline and stand-alone normalisation."""
+        codes = tuple(codes)
+        return MixOutcome(
+            result=self.run(codes, scheme),
+            baseline=self.run(codes, "baseline"),
+            alone_ipcs=tuple(self.alone_ipc(code) for code in codes),
+        )
+
+    def alone_ipc(self, code: int) -> float:
+        """Stand-alone IPC of a benchmark on the baseline machine."""
+        if code not in self._alone_ipc:
+            result = self._simulate((code,), "baseline")
+            self._alone_ipc[code] = result.cores[0].ipc
+        return self._alone_ipc[code]
+
+    # ------------------------------------------------------------------ #
+
+    def _simulate(self, codes: tuple[int, ...], scheme: str) -> SystemResult:
+        workloads = make_workloads(codes, self.scale)
+        config = default_config(
+            num_cores=len(codes),
+            scale=self.scale,
+            quota=self.quota,
+            seed=self.seed,
+            l2_paper_bytes=self.l2_paper_bytes,
+            prefetch=self.prefetch,
+        )
+        if scheme == SHARED_SCHEME:
+            hierarchy: PrivateHierarchy | SharedHierarchy = SharedHierarchy(config)
+        else:
+            hierarchy = PrivateHierarchy(config, make_policy(scheme))
+        engine = Engine(hierarchy, workloads, config.quota, config.seed, self.warmup)
+        engine.run()
+        return SystemResult(
+            scheme=scheme,
+            workload=mix_name(codes),
+            cores=hierarchy.stats,
+            traffic=hierarchy.traffic,
+            latencies=config.latencies,
+        )
+
+
+def run_mix(
+    codes: tuple[int, ...],
+    scheme: str = "avgcc",
+    runner: Optional[ExperimentRunner] = None,
+) -> MixOutcome:
+    """One-shot convenience wrapper around :class:`ExperimentRunner`."""
+    return (runner or ExperimentRunner()).outcome(tuple(codes), scheme)

@@ -1,0 +1,33 @@
+"""Section 6.1: the banked shared LLC of aggregate capacity.
+
+The paper finds the shared cache improves the private baseline by only
+~1.8% (2 cores) / ~3% (4 cores) in performance, far below ASCC/AVGCC:
+private designs with explicit sharing mechanisms beat implicit sharing
+that pays the interleaved-bank latency on every access.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.comparison import ComparisonResult, compare, format_comparison
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.mixes import all_mixes
+
+SCHEMES = ["shared", "ascc", "avgcc"]
+
+
+def run(
+    num_cores: int = 4,
+    runner: ExperimentRunner | None = None,
+    mixes: list[tuple[int, ...]] | None = None,
+) -> ComparisonResult:
+    """Run the shared-LLC comparison for one core count."""
+    return compare(
+        runner or ExperimentRunner(),
+        f"Section 6.1: shared LLC vs cooperative private ({num_cores} cores)",
+        mixes if mixes is not None else all_mixes(num_cores),
+        SCHEMES,
+        metric="speedup",
+    )
+
+
+format_result = format_comparison

@@ -1,0 +1,5 @@
+"""Interconnect latency and traffic accounting."""
+
+from repro.interconnect.bus import BusTraffic, LatencyModel
+
+__all__ = ["BusTraffic", "LatencyModel"]

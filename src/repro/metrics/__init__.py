@@ -1,0 +1,18 @@
+"""Evaluation metrics: weighted speedup, fairness, memory latency."""
+
+from repro.metrics.latency import LatencyBreakdown, latency_breakdown
+from repro.metrics.speedup import (
+    geometric_mean,
+    harmonic_mean_speedup,
+    improvement,
+    weighted_speedup,
+)
+
+__all__ = [
+    "LatencyBreakdown",
+    "geometric_mean",
+    "harmonic_mean_speedup",
+    "improvement",
+    "latency_breakdown",
+    "weighted_speedup",
+]

@@ -1,0 +1,48 @@
+"""Average-memory-latency analysis (Figure 10).
+
+The paper computes the average memory latency "regarding that each access
+is sequentially processed, without overlaps between accesses" and reports
+it normalised to the baseline, with each bar broken down into the fractions
+of L2 accesses served by the local L2, a remote L2 or main memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.results import SystemResult
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Normalised AML plus the access-source fractions for one scheme."""
+
+    scheme: str
+    workload: str
+    normalized_aml: float  # 1.0 = baseline, lower is better
+    local_fraction: float
+    remote_fraction: float
+    memory_fraction: float
+
+    @property
+    def improvement(self) -> float:
+        """Fractional AML reduction over the baseline (0.22 = 22 % better)."""
+        return 1.0 - self.normalized_aml
+
+
+def latency_breakdown(
+    result: SystemResult, baseline: SystemResult
+) -> LatencyBreakdown:
+    """Normalise a scheme's AML to its baseline run on the same mix."""
+    base_aml = baseline.average_memory_latency()
+    if base_aml <= 0:
+        raise ValueError("baseline run has no L2 accesses")
+    fractions = result.access_breakdown()
+    return LatencyBreakdown(
+        scheme=result.scheme,
+        workload=result.workload,
+        normalized_aml=result.average_memory_latency() / base_aml,
+        local_fraction=fractions["local"],
+        remote_fraction=fractions["remote"],
+        memory_fraction=fractions["memory"],
+    )

@@ -1,0 +1,64 @@
+"""Performance and fairness metrics.
+
+The paper evaluates with the *weighted speedup* (Snavely & Tullsen) — the
+sum of each application's IPC normalised to its stand-alone IPC — and with
+the *harmonic mean of normalised IPCs* (Luo et al.), which balances fairness
+and throughput.  Improvements are always reported relative to the private-
+LRU baseline running the same mix.
+"""
+
+from __future__ import annotations
+
+from repro.sim.results import SystemResult
+
+
+def weighted_speedup(result: SystemResult, alone_ipcs: list[float]) -> float:
+    """Sum of per-core IPCs normalised by stand-alone IPCs."""
+    _check(result, alone_ipcs)
+    return sum(
+        core.ipc / alone for core, alone in zip(result.cores, alone_ipcs)
+    )
+
+
+def harmonic_mean_speedup(result: SystemResult, alone_ipcs: list[float]) -> float:
+    """Harmonic mean of normalised IPCs (the fairness metric of Fig. 9)."""
+    _check(result, alone_ipcs)
+    inverted = 0.0
+    for core, alone in zip(result.cores, alone_ipcs):
+        if core.ipc <= 0:
+            return 0.0
+        inverted += alone / core.ipc
+    return len(result.cores) / inverted
+
+
+def improvement(scheme_value: float, baseline_value: float) -> float:
+    """Fractional improvement of a metric over the baseline (0.05 = +5 %)."""
+    if baseline_value <= 0:
+        raise ValueError("baseline metric must be positive")
+    return scheme_value / baseline_value - 1.0
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean of improvement *factors* expressed as fractions.
+
+    The paper's "geomean" columns aggregate per-mix speedup factors
+    (1 + improvement); we mirror that and convert back to a fraction.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    product = 1.0
+    for v in values:
+        factor = 1.0 + v
+        if factor <= 0:
+            raise ValueError(f"improvement {v} implies non-positive factor")
+        product *= factor
+    return product ** (1.0 / len(values)) - 1.0
+
+
+def _check(result: SystemResult, alone_ipcs: list[float]) -> None:
+    if len(alone_ipcs) != result.num_cores:
+        raise ValueError(
+            f"{result.num_cores} cores but {len(alone_ipcs)} stand-alone IPCs"
+        )
+    if any(a <= 0 for a in alone_ipcs):
+        raise ValueError("stand-alone IPCs must be positive")

@@ -1,0 +1,20 @@
+"""LLC management schemes: the baseline and every compared design."""
+
+from repro.policies.base import LLCPolicy
+from repro.policies.cooperative import CooperativeCaching
+from repro.policies.dsr import DSR
+from repro.policies.dsr_dip import DsrDip
+from repro.policies.ecc import ElasticCooperativeCaching
+from repro.policies.private_lru import PrivateLRU
+from repro.policies.registry import available_schemes, make_policy
+
+__all__ = [
+    "CooperativeCaching",
+    "DSR",
+    "DsrDip",
+    "ElasticCooperativeCaching",
+    "LLCPolicy",
+    "PrivateLRU",
+    "available_schemes",
+    "make_policy",
+]

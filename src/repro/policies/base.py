@@ -1,0 +1,165 @@
+"""The LLC-policy interface every scheme implements.
+
+A *policy* is a single system-wide object that manages all private L2s: it
+observes every L2 access, decides which victims are spilled and where,
+chooses insertion positions, and may select non-LRU victims (ECC's regions).
+One object managing all caches keeps cross-cache decisions — min-SSL
+receiver selection, DSR's chip-wide PSEL updates — natural to express.
+
+The private hierarchy (:mod:`repro.sim.system`) drives the hooks in this
+order for each L2 access::
+
+    on_access(cache, set, hit)                # update SSL / PSEL / DIP state
+    # on a miss that allocates, for a full set:
+    choose_victim_position(cache, set, "demand")
+    should_spill(cache, set)                  # victim is a last copy?
+    select_receiver(cache, set)               # may flip capacity mode
+    spill_insertion_position(recv, set)       # where the spilled line lands
+    choose_victim_position(recv, set, "spill")
+    insertion_position(cache, set)            # where the new line lands
+    wants_swap(cache, set)                    # swap with a migrated line?
+
+``tick()`` fires every ``tick_interval`` L2 accesses for periodic work
+(AVGCC re-graining, QoS ratio recomputation, ECC repartitioning).
+"""
+
+from __future__ import annotations
+
+import abc
+from random import Random
+from typing import Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.states import SetRole
+
+
+class LLCPolicy(abc.ABC):
+    """Base class for last-level-cache management schemes."""
+
+    #: Human-readable scheme name (used by the registry and reports).
+    name: str = "abstract"
+
+    #: May a line that was already spilled once be spilled again?  ASCC
+    #: allows it (the receiver's low SSL makes repeats unlikely anyway);
+    #: CC/DSR/ECC give each line a single chance to stay on chip.
+    respill_spilled: bool = True
+
+    #: When a spill arrives at a full receiver set, should the victim be
+    #: the least-recent line that was itself spilled in (recycling donated
+    #: space before touching the receiver's own working set)?  Part of the
+    #: ASCC family's receiver management; prior schemes (CC/DSR/DSR+DIP)
+    #: evict plain LRU — which is exactly what makes DSR+DIP's BIP
+    #: insertion spill-unaware (a just-inserted line at the LRU end can be
+    #: evicted by an incoming spill before its one chance at reuse).
+    spill_victim_prefers_spilled: bool = False
+
+    def __init__(self) -> None:
+        self.num_caches = 0
+        self.geometry: Optional[CacheGeometry] = None
+        self.rng: Random = Random(0)
+        self.warming = False
+
+    def attach(self, num_caches: int, geometry: CacheGeometry, rng: Random) -> None:
+        """Bind the policy to a system; called once before simulation."""
+        self.num_caches = num_caches
+        self.geometry = geometry
+        self.rng = rng
+        self._setup()
+
+    def _setup(self) -> None:
+        """Allocate per-cache state; geometry/num_caches are now valid."""
+
+    def bind(self, hierarchy) -> None:
+        """Give the policy a view of the hierarchy it manages.
+
+        Called once by :class:`~repro.sim.system.PrivateHierarchy` after
+        construction.  Most policies ignore it; ECC inspects set contents
+        to enforce its private/shared regions.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+
+    def begin_warmup(self) -> None:
+        """The engine is warming the caches: statistics are off and
+        long-lived mode decisions (e.g. ASCC's capacity-mode entry) should
+        not be taken from cold-start transients."""
+        self.warming = True
+
+    def end_warmup(self) -> None:
+        """Warmup finished; all adaptive mechanisms are live."""
+        self.warming = False
+
+    def on_access(self, cache_id: int, set_idx: int, outcome: str) -> None:
+        """An L2 access by the owning core was resolved.
+
+        ``outcome`` is ``"local"`` (hit in the own L2), ``"remote"``
+        (served by a peer L2 — a spilled line or a shared copy) or
+        ``"miss"`` (off-chip).  Each policy counts what its hardware
+        counts: the SSL compares local hits against local misses (remote
+        and miss both increment it, keeping a cooperatively-held thrashing
+        set classified as a spiller so repairs are immediate), while DSR's
+        duel counts the misses that actually cost a memory access.
+        """
+
+    def tick(self) -> None:
+        """Periodic maintenance (every ``tick_interval`` L2 accesses)."""
+
+    # ------------------------------------------------------------------ #
+    # Spill decisions
+    # ------------------------------------------------------------------ #
+
+    def should_spill(self, cache_id: int, set_idx: int) -> bool:
+        """May a last-copy victim of this set be spilled to a peer?"""
+        return False
+
+    def select_receiver(self, cache_id: int, set_idx: int) -> Optional[int]:
+        """Receiver cache for a spill from ``cache_id``, or ``None``.
+
+        Returning ``None`` means the spill is abandoned and the victim goes
+        to memory; ASCC-family policies also use this moment to detect a
+        chip-wide capacity problem and flip the set's insertion policy.
+        """
+        return None
+
+    def wants_swap(self, cache_id: int, set_idx: int) -> bool:
+        """Swap the local victim into a slot freed by a migrating line?"""
+        return False
+
+    def on_spill(self, src_cache: int, dst_cache: int, set_idx: int) -> None:
+        """Bookkeeping after a spill actually happened."""
+
+    # ------------------------------------------------------------------ #
+    # Insertion / victim selection
+    # ------------------------------------------------------------------ #
+
+    def insertion_position(self, cache_id: int, set_idx: int) -> int:
+        """Recency position for a demand fill (0 = MRU)."""
+        return 0
+
+    def spill_insertion_position(self, cache_id: int, set_idx: int) -> int:
+        """Recency position for a spilled-in line (default MRU)."""
+        return 0
+
+    def choose_victim_position(
+        self, cache_id: int, set_idx: int, kind: str
+    ) -> Optional[int]:
+        """Recency position of the victim, or ``None`` for plain LRU.
+
+        ``kind`` is ``"demand"`` for local fills and ``"spill"`` for
+        incoming spilled lines; ECC uses it to evict within the matching
+        region.
+        """
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def role(self, cache_id: int, set_idx: int) -> SetRole:
+        """Current role of the set, for analysis and tests."""
+        return SetRole.NEUTRAL
+
+    def describe(self) -> str:
+        return self.name

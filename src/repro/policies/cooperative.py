@@ -1,0 +1,38 @@
+"""Cooperative Caching (Chang & Sohi, ISCA 2006) — the earliest spill design.
+
+CC spills a victim to another cache instead of evicting it to memory
+whenever it is the last on-chip copy, choosing the destination randomly and
+regardless of whether either cache benefits ("CC disregards whether the
+spilling is going to benefit the cache ... the final candidate is chosen
+randomly").  Each line gets one chance: re-spilling of already-spilled
+lines is disabled, which is CC's 1-chance forwarding.
+
+The paper discusses CC as motivation rather than measuring it; we include
+it as an extra baseline for completeness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.states import SetRole
+from repro.policies.base import LLCPolicy
+
+
+class CooperativeCaching(LLCPolicy):
+    """Unconditional random spilling (1-chance forwarding)."""
+
+    name = "cc"
+    respill_spilled = False
+
+    def should_spill(self, cache_id: int, set_idx: int) -> bool:
+        return self.num_caches > 1
+
+    def select_receiver(self, cache_id: int, set_idx: int) -> Optional[int]:
+        if self.num_caches < 2:
+            return None
+        receiver = self.rng.randrange(self.num_caches - 1)
+        return receiver if receiver < cache_id else receiver + 1
+
+    def role(self, cache_id: int, set_idx: int) -> SetRole:
+        return SetRole.SPILLER

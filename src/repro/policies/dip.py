@@ -1,0 +1,88 @@
+"""Dynamic Insertion Policy (Qureshi et al., ISCA 2007).
+
+DIP set-duels two insertion policies inside each cache: traditional MRU
+insertion versus BIP.  A few dedicated sets always use MRU, a few always
+use BIP, and a per-cache PSEL counts their misses; follower sets adopt the
+winner.  The paper combines DIP with DSR (``DSR+DIP``, Figures 7-10) as the
+comparison point that tackles capacity without spill awareness — the
+contrast motivating SABIP.
+
+This module provides the dueling machinery as a mixin-style component so
+:class:`repro.policies.dsr_dip.DsrDip` can compose it with DSR.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.cache.insertion import (
+    DEFAULT_EPSILON,
+    InsertionPolicy,
+    insertion_position,
+)
+
+PSEL_BITS = 10
+PSEL_MAX = (1 << PSEL_BITS) - 1
+PSEL_INIT = 1 << (PSEL_BITS - 1)
+
+
+class DipDuel:
+    """Per-cache MRU-vs-BIP set duel.
+
+    The dedicated sets are chosen by residue: within each ``stride``-set
+    window the last set always uses BIP and the one before it always MRU
+    (offsets chosen from the top of the window so they never collide with
+    DSR's SDMs, which use the bottom).
+    """
+
+    def __init__(
+        self,
+        num_caches: int,
+        sets: int,
+        rng: Random,
+        stride: int = 32,
+        epsilon: float = DEFAULT_EPSILON,
+    ) -> None:
+        if stride < 4:
+            raise ValueError("stride too small to dedicate dueling sets")
+        self.num_caches = num_caches
+        self.sets = sets
+        self.rng = rng
+        self.stride = min(stride, sets)
+        self.epsilon = epsilon
+        self.psel = [PSEL_INIT] * num_caches
+
+    def dedicated_policy(self, set_idx: int) -> InsertionPolicy | None:
+        """The fixed policy of a dedicated set, or None for followers."""
+        r = set_idx % self.stride
+        if r == self.stride - 1:
+            return InsertionPolicy.BIP
+        if r == self.stride - 2:
+            return InsertionPolicy.MRU
+        return None
+
+    def on_miss(self, cache_id: int, set_idx: int) -> None:
+        dedicated = self.dedicated_policy(set_idx)
+        if dedicated is InsertionPolicy.BIP:
+            # BIP sets missing is evidence against BIP.
+            if self.psel[cache_id] > 0:
+                self.psel[cache_id] -= 1
+        elif dedicated is InsertionPolicy.MRU:
+            if self.psel[cache_id] < PSEL_MAX:
+                self.psel[cache_id] += 1
+
+    def winner(self, cache_id: int) -> InsertionPolicy:
+        return (
+            InsertionPolicy.BIP
+            if self.psel[cache_id] >= PSEL_INIT
+            else InsertionPolicy.MRU
+        )
+
+    def policy_for(self, cache_id: int, set_idx: int) -> InsertionPolicy:
+        dedicated = self.dedicated_policy(set_idx)
+        return dedicated if dedicated is not None else self.winner(cache_id)
+
+    def insertion_position(self, cache_id: int, set_idx: int, ways: int) -> int:
+        return insertion_position(
+            self.policy_for(cache_id, set_idx), ways, self.rng, self.epsilon
+        )

@@ -1,0 +1,139 @@
+"""Dynamic Spill-Receive (Qureshi, HPCA 2009) and its 3-state variant.
+
+DSR labels each whole cache a *spiller* or a *receiver* using set dueling:
+a few sets of each cache always spill (its spiller SDM) and a few always
+receive (its receiver SDM).  Because a cache's spills land in its peers,
+the quality of cache *i* being a spiller shows up as misses *chip-wide* in
+the set indices of *i*'s SDMs, so every cache's miss in such a set updates
+*i*'s PSEL ("a global counter per cache ... updated by all the caches").
+Follower sets adopt the winning role.
+
+The paper's configuration: 32 sets per SDM, one SDM per policy, a 10-bit
+PSEL.  On scaled-down caches the SDM size scales with the set count (with
+a floor so the duel stays meaningful).
+
+``DSR-3S`` (Figure 5) reads the two most-significant PSEL bits: ``11`` →
+spiller, ``00`` → receiver, ``01``/``10`` → neutral, demonstrating that
+the neutral state helps even at cache granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.states import SetRole
+from repro.policies.base import LLCPolicy
+
+#: PSEL width (bits) and derived constants.  The paper uses 10 bits against
+#: 10-billion-instruction runs; at simulation scale a narrower counter keeps
+#: the duel responsive (the 3-state bands must be reachable).
+PSEL_BITS = 6
+PSEL_MAX = (1 << PSEL_BITS) - 1
+PSEL_INIT = 1 << (PSEL_BITS - 1)
+
+#: Paper ratio: 32-set SDMs in a 4096-set cache.
+PAPER_SDM_SETS = 32
+PAPER_SETS = 4096
+MIN_SDM_SETS = 8
+
+
+class DSR(LLCPolicy):
+    """Dynamic Spill-Receive with per-cache set-dueling monitors."""
+
+    name = "dsr"
+    respill_spilled = False  # one chance per spilled line
+
+    def __init__(self, three_state: bool = False, name: Optional[str] = None) -> None:
+        super().__init__()
+        self.three_state = three_state
+        if name is not None:
+            self.name = name
+        elif three_state:
+            self.name = "dsr-3s"
+        self.psel: list[int] = []
+        self._stride = 0
+
+    def _setup(self) -> None:
+        assert self.geometry is not None
+        sets = self.geometry.sets
+        sdm_sets = max(MIN_SDM_SETS, sets * PAPER_SDM_SETS // PAPER_SETS)
+        sdm_sets = min(sdm_sets, max(1, sets // (2 * self.num_caches)))
+        self._stride = max(2 * self.num_caches, sets // sdm_sets)
+        self.psel = [PSEL_INIT] * self.num_caches
+
+    # ------------------------------------------------------------------ #
+    # Set dueling
+    # ------------------------------------------------------------------ #
+
+    def sdm_owner(self, set_idx: int) -> Optional[tuple[int, SetRole]]:
+        """Which cache's SDM (and which role) this set index belongs to.
+
+        Cache *i* owns the sets ``s % stride == 2i`` (always-spill) and
+        ``s % stride == 2i + 1`` (always-receive) — in *every* cache, since
+        the duel measures chip-wide effects.
+        """
+        r = set_idx % self._stride
+        if r < 2 * self.num_caches:
+            return r >> 1, SetRole.SPILLER if (r & 1) == 0 else SetRole.RECEIVER
+        return None
+
+    def on_access(self, cache_id: int, set_idx: int, outcome: str) -> None:
+        if outcome != "miss":  # the duel counts off-chip misses
+            return
+        owner = self.sdm_owner(set_idx)
+        if owner is None:
+            return
+        owned_by, sdm_role = owner
+        if sdm_role is SetRole.SPILLER:
+            # Misses while cache `owned_by` spills: spilling looks worse.
+            if self.psel[owned_by] > 0:
+                self.psel[owned_by] -= 1
+        else:
+            # Misses while it receives: spilling looks better.
+            if self.psel[owned_by] < PSEL_MAX:
+                self.psel[owned_by] += 1
+
+    def cache_role(self, cache_id: int) -> SetRole:
+        """The follower-set role of a whole cache, from its PSEL."""
+        psel = self.psel[cache_id]
+        if not self.three_state:
+            return SetRole.SPILLER if psel >= PSEL_INIT else SetRole.RECEIVER
+        msbs = psel >> (PSEL_BITS - 2)
+        if msbs == 0b11:
+            return SetRole.SPILLER
+        if msbs == 0b00:
+            return SetRole.RECEIVER
+        return SetRole.NEUTRAL
+
+    def role(self, cache_id: int, set_idx: int) -> SetRole:
+        owner = self.sdm_owner(set_idx)
+        if owner is not None:
+            owned_by, sdm_role = owner
+            if owned_by == cache_id:
+                return sdm_role
+            if sdm_role is SetRole.SPILLER:
+                # Peers cooperate with the always-spill experiment: the
+                # same set index in every other cache acts as a receiver,
+                # otherwise the monitor could never measure any benefit.
+                return SetRole.RECEIVER
+        return self.cache_role(cache_id)
+
+    # ------------------------------------------------------------------ #
+    # Spill decisions
+    # ------------------------------------------------------------------ #
+
+    def should_spill(self, cache_id: int, set_idx: int) -> bool:
+        return self.role(cache_id, set_idx) is SetRole.SPILLER
+
+    def select_receiver(self, cache_id: int, set_idx: int) -> Optional[int]:
+        candidates = [
+            j
+            for j in range(self.num_caches)
+            if j != cache_id and self.role(j, set_idx) is SetRole.RECEIVER
+        ]
+        if not candidates:
+            return None
+        return candidates[0] if len(candidates) == 1 else self.rng.choice(candidates)
+
+    def describe(self) -> str:
+        return f"{self.name}(psel={self.psel})"

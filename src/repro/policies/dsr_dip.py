@@ -1,0 +1,50 @@
+"""DSR + DIP: spill-receive dueling combined with insertion dueling.
+
+The paper evaluates this combination (Figures 7-10) as the strongest prior
+design: DSR shares capacity across caches while DIP fights thrashing inside
+each cache.  Its weakness — the one SABIP repairs — is that DIP's BIP
+insertion is unaware of spilling: a line just inserted at the LRU position
+can be evicted by an incoming spilled line before its one chance at reuse,
+and a spilled-out LRU-inserted line displaces a line with more locality in
+the receiver.  With more cores the spill rate grows and the pathology
+worsens, which is why DSR+DIP beats DSR at 2 cores but degrades at 4
+(Figure 8).
+"""
+
+from __future__ import annotations
+
+from repro.cache.insertion import DEFAULT_EPSILON
+from repro.policies.dip import DipDuel
+from repro.policies.dsr import DSR
+
+
+class DsrDip(DSR):
+    """DSR whole-cache spill roles plus DIP insertion dueling."""
+
+    name = "dsr+dip"
+
+    def __init__(self, epsilon: float = DEFAULT_EPSILON) -> None:
+        super().__init__(name="dsr+dip")
+        self.epsilon = epsilon
+        self.dip: DipDuel | None = None
+
+    def _setup(self) -> None:
+        super()._setup()
+        assert self.geometry is not None
+        self.dip = DipDuel(
+            self.num_caches,
+            self.geometry.sets,
+            self.rng,
+            stride=self._stride,
+            epsilon=self.epsilon,
+        )
+
+    def on_access(self, cache_id: int, set_idx: int, outcome: str) -> None:
+        super().on_access(cache_id, set_idx, outcome)
+        if outcome == "miss":
+            assert self.dip is not None
+            self.dip.on_miss(cache_id, set_idx)
+
+    def insertion_position(self, cache_id: int, set_idx: int) -> int:
+        assert self.dip is not None and self.geometry is not None
+        return self.dip.insertion_position(cache_id, set_idx, self.geometry.ways)

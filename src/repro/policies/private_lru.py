@@ -1,0 +1,21 @@
+"""Baseline: plain private LLCs with LRU and no cooperation.
+
+This is the paper's baseline configuration (Table 2): each core owns a
+private, inclusive, write-back L2 managed by LRU with MRU insertion.  No
+spills, no swaps, no insertion-policy adaptation.  Every evaluation figure
+reports improvement relative to this scheme.
+"""
+
+from __future__ import annotations
+
+from repro.core.states import SetRole
+from repro.policies.base import LLCPolicy
+
+
+class PrivateLRU(LLCPolicy):
+    """Traditional private LLC configuration."""
+
+    name = "baseline"
+
+    def role(self, cache_id: int, set_idx: int) -> SetRole:
+        return SetRole.NEUTRAL

@@ -1,0 +1,77 @@
+"""Name → policy factory registry.
+
+Every scheme the paper evaluates (plus the CC extra baseline) can be built
+by name, which is how the experiment runner, the examples and the CLI-ish
+benchmark harness refer to them.  Parameterised families accept a suffix:
+``ascc/64`` is ASCC with 64 sets per counter (Table 1), ``avgcc/128`` is
+AVGCC limited to 128 counters (Section 7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.ascc import ASCC, make_ascc, make_ascc_2s, make_ascc_granular
+from repro.core.avgcc import AVGCC
+from repro.core.intermediate import (
+    make_gms,
+    make_gms_sabip,
+    make_lms,
+    make_lms_bip,
+    make_lrs,
+)
+from repro.core.qos import QoSAVGCC
+from repro.policies.base import LLCPolicy
+from repro.policies.cooperative import CooperativeCaching
+from repro.policies.dsr import DSR
+from repro.policies.dsr_dip import DsrDip
+from repro.policies.ecc import ElasticCooperativeCaching
+from repro.policies.private_lru import PrivateLRU
+
+_FACTORIES: dict[str, Callable[[], LLCPolicy]] = {
+    "baseline": PrivateLRU,
+    "cc": CooperativeCaching,
+    "dsr": DSR,
+    "dsr-3s": lambda: DSR(three_state=True),
+    "dsr+dip": DsrDip,
+    "ecc": ElasticCooperativeCaching,
+    "lrs": make_lrs,
+    "lms": make_lms,
+    "gms": make_gms,
+    "lms+bip": make_lms_bip,
+    "gms+sabip": make_gms_sabip,
+    "ascc": make_ascc,
+    "ascc-2s": make_ascc_2s,
+    # Mechanism ablation (this reproduction's DESIGN.md Section 6): ASCC
+    # without the Section 3.2 swap, to measure what swap maintenance buys.
+    "ascc-noswap": lambda: ASCC(swap=False, name="ascc-noswap"),
+    "avgcc": AVGCC,
+    "qos-avgcc": QoSAVGCC,
+}
+
+
+def available_schemes() -> list[str]:
+    """All fixed scheme names (parameterised families excluded)."""
+    return sorted(_FACTORIES)
+
+
+def make_policy(name: str) -> LLCPolicy:
+    """Build a policy by name (see module docstring for the syntax)."""
+    if name in _FACTORIES:
+        return _FACTORIES[name]()
+    if name.startswith("ascc/"):
+        return make_ascc_granular(_suffix_int(name))
+    if name.startswith("avgcc/"):
+        return AVGCC(max_counters=_suffix_int(name), name=name)
+    raise KeyError(
+        f"unknown scheme {name!r}; available: {', '.join(available_schemes())}"
+        " plus ascc/<sets-per-counter> and avgcc/<max-counters>"
+    )
+
+
+def _suffix_int(name: str) -> int:
+    suffix = name.split("/", 1)[1]
+    try:
+        return int(suffix)
+    except ValueError:
+        raise KeyError(f"non-integer parameter in scheme name {name!r}") from None

@@ -1,0 +1,29 @@
+"""Simulation wiring: configuration, hierarchies, engine, results."""
+
+from repro.sim.config import (
+    PAPER_L1,
+    PAPER_L2,
+    PAPER_SWEEP_L2,
+    PrefetchConfig,
+    ScaleModel,
+    SystemConfig,
+    default_config,
+)
+from repro.sim.engine import Engine
+from repro.sim.results import CoreStats, SystemResult
+from repro.sim.system import PrivateHierarchy, SharedHierarchy
+
+__all__ = [
+    "CoreStats",
+    "Engine",
+    "PAPER_L1",
+    "PAPER_L2",
+    "PAPER_SWEEP_L2",
+    "PrefetchConfig",
+    "PrivateHierarchy",
+    "ScaleModel",
+    "SharedHierarchy",
+    "SystemConfig",
+    "SystemResult",
+    "default_config",
+]

@@ -1,0 +1,111 @@
+"""Simulation configuration: paper geometry, scaling model, knobs.
+
+The paper simulates 10 billion instructions against 1 MB/8-way private L2s
+(4096 sets).  A pure-Python reproduction scales the *whole* memory system —
+caches and working sets together — by a single factor so that every
+capacity ratio, and therefore every qualitative result, is preserved while
+runs stay laptop-sized.  ``ScaleModel`` is that single factor; the default
+is 1/16 (64 kB/8-way L2s, 256 sets).
+
+The storage-cost analysis (Table 5) never scales: it always uses the
+paper's exact geometry and 42-bit addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.interconnect.bus import LatencyModel
+
+#: Geometries from the paper's Table 2.
+PAPER_L1 = CacheGeometry(size_bytes=32 * 1024, ways=4, line_bytes=32)
+PAPER_L2 = CacheGeometry(size_bytes=1024 * 1024, ways=8, line_bytes=32)
+#: The Figure 1/2 sweep cache: 2 MB, 16 ways.
+PAPER_SWEEP_L2 = CacheGeometry(size_bytes=2 * 1024 * 1024, ways=16, line_bytes=32)
+
+#: AVGCC recomputes its granularity every 100 000 accesses (Section 6).
+PAPER_TICK_INTERVAL = 100_000
+
+
+@dataclass(frozen=True)
+class ScaleModel:
+    """Uniform scale between the paper's memory system and the simulated one.
+
+    ``scale = 1.0`` reproduces the paper's sizes exactly; ``scale = 1/16``
+    (the default for experiments) shrinks caches and working sets together.
+    """
+
+    scale: float = 1.0 / 16.0
+
+    def l1(self) -> CacheGeometry:
+        return PAPER_L1.scaled(self.scale)
+
+    def l2(self, paper_size_bytes: int = PAPER_L2.size_bytes) -> CacheGeometry:
+        return CacheGeometry(
+            int(paper_size_bytes * self.scale), PAPER_L2.ways, PAPER_L2.line_bytes
+        )
+
+    def sweep_l2(self) -> CacheGeometry:
+        return PAPER_SWEEP_L2.scaled(self.scale)
+
+    def bytes(self, paper_bytes: int) -> int:
+        """Scale a working-set size, keeping at least one line."""
+        return max(PAPER_L2.line_bytes, int(paper_bytes * self.scale))
+
+    def tick_interval(self) -> int:
+        """Scale the 100 000-access maintenance period with the system."""
+        return max(1024, int(PAPER_TICK_INTERVAL * self.scale))
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Per-LLC stride prefetcher (Section 6.3 sensitivity study)."""
+
+    table_entries: int = 64
+    degree: int = 1
+    confidence_threshold: int = 2
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build and run a CMP simulation."""
+
+    num_cores: int
+    l2_geometry: CacheGeometry
+    l1_geometry: CacheGeometry
+    latencies: LatencyModel = field(default_factory=LatencyModel)
+    tick_interval: int = PAPER_TICK_INTERVAL
+    seed: int = 12345
+    prefetch: Optional[PrefetchConfig] = None
+    #: Instructions each core commits before its statistics freeze.
+    quota: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if self.l1_geometry.line_bytes != self.l2_geometry.line_bytes:
+            raise ValueError("L1 and L2 must share a line size")
+        if self.quota <= 0 or self.tick_interval <= 0:
+            raise ValueError("quota and tick_interval must be positive")
+
+
+def default_config(
+    num_cores: int,
+    scale: ScaleModel = ScaleModel(),
+    quota: int = 200_000,
+    seed: int = 12345,
+    l2_paper_bytes: int = PAPER_L2.size_bytes,
+    prefetch: Optional[PrefetchConfig] = None,
+) -> SystemConfig:
+    """The scaled equivalent of the paper's Table 2 configuration."""
+    return SystemConfig(
+        num_cores=num_cores,
+        l2_geometry=scale.l2(l2_paper_bytes),
+        l1_geometry=scale.l1(),
+        tick_interval=scale.tick_interval(),
+        seed=seed,
+        quota=quota,
+        prefetch=prefetch,
+    )

@@ -1,0 +1,457 @@
+"""CMP memory hierarchies: private LLCs with cooperation, and a shared LLC.
+
+:class:`PrivateHierarchy` wires per-core L1s, private L2s, the functional
+MESI broadcast (presence directory) and one :class:`~repro.policies.base.
+LLCPolicy`, and implements the complete access flow of the paper's system:
+
+* local L2 hit (9 cycles), with MESI write upgrades;
+* remote L2 hit (25 cycles) found by the broadcast.  A *spilled* line is
+  served **in place**: the receiver promotes it and forwards the data, and
+  the requester does not re-allocate it — this is what makes a spill
+  steady-state stable and what turns the paper's Figure 10 "local hits"
+  into persistent "remote hits".  A *genuinely shared* line (multithreaded
+  workloads) is allocated locally with M->S downgrades and writebacks;
+* memory fetch (remote probe + 460 cycles);
+* victim disposition on every allocation: swap into a slot freed by a
+  migrating line (ASCC Section 3.2), spill to a receiver chosen by the
+  policy, or eviction to memory with writeback of dirty lines;
+* inclusion: the owning L1 is back-invalidated whenever its L2 loses a
+  line, including when the line is spilled away.
+
+:class:`SharedHierarchy` models the Section 6.1 comparison point — a banked
+shared LLC of the same aggregate capacity accessed at an interleaved-bank
+average latency.
+"""
+
+from __future__ import annotations
+
+import abc
+from random import Random
+from typing import Optional
+
+from repro.cache.cache import CacheArray, Line
+from repro.cache.geometry import CacheGeometry
+from repro.cache.l1 import L1Cache
+from repro.coherence.directory import PresenceDirectory
+from repro.coherence.protocol import Mesi
+from repro.cpu.prefetch import StridePrefetcher
+from repro.interconnect.bus import BusTraffic
+from repro.policies.base import LLCPolicy
+from repro.sim.config import SystemConfig
+from repro.sim.results import CoreStats
+
+#: Access outcomes returned by ``access``.
+LOCAL, REMOTE, MEMORY = "local", "remote", "memory"
+
+
+class MemoryHierarchy(abc.ABC):
+    """What the engine needs from a memory system below the L1s."""
+
+    l1s: list[L1Cache]
+
+    @abc.abstractmethod
+    def access(self, core_id: int, line_addr: int, is_write: bool, pc: int) -> float:
+        """Handle an L1-missing access; return its latency in cycles."""
+
+    @abc.abstractmethod
+    def write_through(self, core_id: int, line_addr: int) -> None:
+        """Propagate an L1 store hit to the level below (write-through L1)."""
+
+
+class PrivateHierarchy(MemoryHierarchy):
+    """Private per-core L2s cooperating under an :class:`LLCPolicy`."""
+
+    def __init__(self, config: SystemConfig, policy: LLCPolicy) -> None:
+        self.config = config
+        self.policy = policy
+        self.rng = Random(config.seed)
+        self.directory = PresenceDirectory(config.num_cores)
+        self.l2s = [
+            CacheArray(config.l2_geometry, cache_id=i, directory=self.directory)
+            for i in range(config.num_cores)
+        ]
+        self.l1s = [L1Cache(config.l1_geometry) for _ in range(config.num_cores)]
+        self.stats = [CoreStats(core_id=i) for i in range(config.num_cores)]
+        self.traffic = BusTraffic()
+        self.prefetchers: Optional[list[StridePrefetcher]] = None
+        if config.prefetch is not None:
+            self.prefetchers = [
+                StridePrefetcher(config.prefetch) for _ in range(config.num_cores)
+            ]
+        self._accesses_since_tick = 0
+        policy.attach(config.num_cores, config.l2_geometry, Random(config.seed ^ 0x5BD1))
+        policy.bind(self)
+
+    # ------------------------------------------------------------------ #
+    # Main access path
+    # ------------------------------------------------------------------ #
+
+    def access(self, core_id: int, line_addr: int, is_write: bool, pc: int) -> float:
+        lat = self.config.latencies
+        cache = self.l2s[core_id]
+        stats = self.stats[core_id]
+        set_idx = cache.geometry.set_index(line_addr)
+        self._bump_tick()
+        if stats.recording:
+            stats.l2_accesses += 1
+
+        line = cache.lookup(line_addr)
+        if self.prefetchers is not None:
+            self._run_prefetcher(core_id, pc, line_addr)
+
+        if line is not None:
+            self.policy.on_access(core_id, set_idx, "local")
+            self.traffic.local_hits += 1
+            if stats.recording:
+                stats.l2_local_hits += 1
+                if line.prefetched:
+                    stats.prefetches_useful += 1
+            line.prefetched = False
+            if is_write:
+                self._write_upgrade(core_id, line)
+            self.l1s[core_id].allocate(line_addr)
+            return lat.l2_local_hit
+
+        # Local miss: snoop the chip (functional broadcast).
+        self.traffic.snoop_broadcasts += 1
+        holders = self.directory.peers(line_addr, core_id)
+        if holders:
+            return self._remote_hit(core_id, line_addr, set_idx, is_write, holders)
+        return self._memory_fetch(core_id, line_addr, set_idx, is_write)
+
+    def write_through(self, core_id: int, line_addr: int) -> None:
+        """L1 store hit: update the inclusive L2 copy's state to M."""
+        line = self.l2s[core_id].probe(line_addr)
+        if line is None:  # pragma: no cover - inclusion guarantees presence
+            raise AssertionError(f"inclusion violated for line {line_addr:#x}")
+        stats = self.stats[core_id]
+        if stats.recording:
+            stats.wt_writes += 1
+        if line.state is not Mesi.MODIFIED:
+            self._write_upgrade(core_id, line)
+
+    # ------------------------------------------------------------------ #
+    # Miss resolution
+    # ------------------------------------------------------------------ #
+
+    def _remote_hit(
+        self,
+        core_id: int,
+        line_addr: int,
+        set_idx: int,
+        is_write: bool,
+        holders: list[int],
+    ) -> float:
+        lat = self.config.latencies
+        stats = self.stats[core_id]
+        self.traffic.remote_hits += 1
+        holder = holders[0] if len(holders) == 1 else self.rng.choice(holders)
+        remote_line = self.l2s[holder].probe(line_addr)
+        assert remote_line is not None
+        if stats.recording:
+            stats.l2_remote_hits += 1
+            if remote_line.spilled:
+                stats.hits_on_spilled += 1
+
+        self.policy.on_access(core_id, set_idx, "remote")
+
+        if remote_line.spilled and len(holders) == 1:
+            if not self.policy.wants_swap(core_id, set_idx):
+                # Swap-less schemes serve a spilled line in place: the
+                # receiver promotes it (it proved useful) and forwards the
+                # data; the requester does not re-allocate it, so every
+                # future access keeps costing the remote-hit latency
+                # (Figure 10's persistent remote fraction).
+                self.l2s[holder].lookup(line_addr)  # promote to MRU
+                if is_write:
+                    remote_line.state = Mesi.MODIFIED
+                return lat.l2_remote_hit
+            # ASCC-family swap (Section 3.2): the requested line migrates
+            # home and the local victim — when it is the last copy — takes
+            # the slot the migration just freed.  The pair of last copies
+            # stays on chip with no receiver-pool arbitration, which is
+            # what keeps a cooperatively-held working set resident.
+            new_state = (
+                Mesi.MODIFIED
+                if remote_line.state is Mesi.MODIFIED or is_write
+                else Mesi.EXCLUSIVE
+            )
+            self._invalidate_at(holder, line_addr)
+            self._allocate_local(core_id, line_addr, set_idx, new_state, holder)
+            self.l1s[core_id].allocate(line_addr)
+            return lat.l2_remote_hit
+
+        migrated_holder: Optional[int] = None
+        if is_write:
+            # MESI write: all remote copies are invalidated.
+            new_state = Mesi.MODIFIED
+            for h in holders:
+                self._invalidate_at(h, line_addr)
+            migrated_holder = holder
+        else:
+            # Genuinely shared read: remote copies downgrade to S.
+            new_state = Mesi.SHARED
+            for h in holders:
+                peer = self.l2s[h].probe(line_addr)
+                if peer is not None and peer.state is Mesi.MODIFIED:
+                    self._writeback(h)
+                    peer.state = Mesi.SHARED
+                elif peer is not None and peer.state is Mesi.EXCLUSIVE:
+                    peer.state = Mesi.SHARED
+
+        self._allocate_local(core_id, line_addr, set_idx, new_state, migrated_holder)
+        self.l1s[core_id].allocate(line_addr)
+        return lat.l2_remote_hit
+
+    def _memory_fetch(
+        self, core_id: int, line_addr: int, set_idx: int, is_write: bool
+    ) -> float:
+        lat = self.config.latencies
+        stats = self.stats[core_id]
+        self.policy.on_access(core_id, set_idx, "miss")
+        self.traffic.memory_fetches += 1
+        if stats.recording:
+            stats.l2_memory_fetches += 1
+        new_state = Mesi.MODIFIED if is_write else Mesi.EXCLUSIVE
+        self._allocate_local(core_id, line_addr, set_idx, new_state, None)
+        self.l1s[core_id].allocate(line_addr)
+        # The broadcast that found nobody ran concurrently with the fetch.
+        return lat.l2_remote_hit + lat.memory
+
+    # ------------------------------------------------------------------ #
+    # Allocation and victim disposition
+    # ------------------------------------------------------------------ #
+
+    def _allocate_local(
+        self,
+        core_id: int,
+        line_addr: int,
+        set_idx: int,
+        state: Mesi,
+        migrated_holder: Optional[int],
+    ) -> None:
+        cache = self.l2s[core_id]
+        policy = self.policy
+        victim: Optional[Line] = None
+        if cache.occupancy(set_idx) >= cache.geometry.ways:
+            victim_pos = policy.choose_victim_position(core_id, set_idx, "demand")
+            victim = cache.victim_candidate(set_idx, victim_pos)
+        if victim is not None:
+            last_copy = self.directory.is_last_copy(victim.addr, core_id)
+            cache.evict(victim.addr)
+            self.l1s[core_id].invalidate(victim.addr)
+            self._dispose_victim(core_id, set_idx, victim, last_copy, migrated_holder)
+        pos = policy.insertion_position(core_id, set_idx)
+        cache.fill(Line(line_addr, state), position=pos)
+
+    def _dispose_victim(
+        self,
+        core_id: int,
+        set_idx: int,
+        victim: Line,
+        last_copy: bool,
+        migrated_holder: Optional[int],
+    ) -> None:
+        if not last_copy:
+            # Another on-chip copy survives; MESI guarantees ours is clean.
+            return
+        policy = self.policy
+        if migrated_holder is not None and policy.wants_swap(core_id, set_idx):
+            # Swap: the victim takes the slot just freed by the migrating
+            # line, keeping both last copies on chip (Section 3.2).
+            self._place_spilled(core_id, migrated_holder, set_idx, victim, swap=True)
+            return
+        if (not victim.spilled or policy.respill_spilled) and policy.should_spill(
+            core_id, set_idx
+        ):
+            receiver = policy.select_receiver(core_id, set_idx)
+            if receiver is not None and receiver != core_id:
+                self._place_spilled(core_id, receiver, set_idx, victim, swap=False)
+                return
+        self._evict_to_memory(core_id, victim)
+
+    def _place_spilled(
+        self, src: int, dst: int, set_idx: int, victim: Line, swap: bool
+    ) -> None:
+        cache = self.l2s[dst]
+        policy = self.policy
+        if cache.occupancy(set_idx) >= cache.geometry.ways:
+            r_pos = policy.choose_victim_position(dst, set_idx, "spill")
+            if r_pos is None and policy.spill_victim_prefers_spilled:
+                # ASCC-family receiver rule: recycle the least-recent line
+                # that was itself spilled in, before touching any of the
+                # receiver set's own working set (uses the per-line
+                # spilled bit the spill mechanism already carries).
+                lines = cache.set_lines(set_idx)
+                for pos in range(len(lines) - 1, -1, -1):
+                    if lines[pos].spilled:
+                        r_pos = pos
+                        break
+            r_victim = cache.victim_candidate(set_idx, r_pos)
+            if r_victim is not None:
+                r_last = self.directory.is_last_copy(r_victim.addr, dst)
+                cache.evict(r_victim.addr)
+                self.l1s[dst].invalidate(r_victim.addr)
+                if r_last:
+                    # No cascading spills: displaced lines go to memory.
+                    self._evict_to_memory(dst, r_victim)
+        spilled = Line(
+            victim.addr, victim.state, spilled=True, shared_region=True
+        )
+        cache.fill(spilled, position=policy.spill_insertion_position(dst, set_idx))
+        src_stats, dst_stats = self.stats[src], self.stats[dst]
+        if swap:
+            self.traffic.swaps += 1
+            if src_stats.recording:
+                src_stats.swaps += 1
+        else:
+            self.traffic.spills += 1
+            if src_stats.recording:
+                src_stats.spills_out += 1
+            if dst_stats.recording:
+                dst_stats.spills_in += 1
+            policy.on_spill(src, dst, set_idx)
+
+    # ------------------------------------------------------------------ #
+    # Coherence helpers
+    # ------------------------------------------------------------------ #
+
+    def _write_upgrade(self, core_id: int, line: Line) -> None:
+        """Local write hit: invalidate remote copies, go to M."""
+        if line.state is not Mesi.MODIFIED:
+            peers = self.directory.peers(line.addr, core_id)
+            for h in peers:
+                self._invalidate_at(h, line.addr)
+            if peers and self.stats[core_id].recording:
+                self.stats[core_id].invalidations_sent += len(peers)
+            line.state = Mesi.MODIFIED
+
+    def _invalidate_at(self, holder: int, line_addr: int) -> None:
+        self.l2s[holder].invalidate(line_addr)
+        self.l1s[holder].invalidate(line_addr)
+        self.traffic.invalidations += 1
+
+    def _writeback(self, core_id: int) -> None:
+        self.traffic.writebacks += 1
+        if self.stats[core_id].recording:
+            self.stats[core_id].writebacks += 1
+
+    def _evict_to_memory(self, core_id: int, victim: Line) -> None:
+        if victim.state is Mesi.MODIFIED:
+            self._writeback(core_id)
+
+    # ------------------------------------------------------------------ #
+    # Prefetch and maintenance
+    # ------------------------------------------------------------------ #
+
+    def _run_prefetcher(self, core_id: int, pc: int, line_addr: int) -> None:
+        assert self.prefetchers is not None
+        cache = self.l2s[core_id]
+        stats = self.stats[core_id]
+        for target in self.prefetchers[core_id].observe(pc, line_addr):
+            if target < 0 or cache.contains(target) or self.directory.is_on_chip(target):
+                continue
+            set_idx = cache.geometry.set_index(target)
+            if cache.occupancy(set_idx) >= cache.geometry.ways:
+                victim = cache.victim_candidate(set_idx)
+                assert victim is not None
+                last = self.directory.is_last_copy(victim.addr, core_id)
+                cache.evict(victim.addr)
+                self.l1s[core_id].invalidate(victim.addr)
+                if last:
+                    self._evict_to_memory(core_id, victim)
+            # Install near LRU so useless prefetches pollute minimally.
+            pos = max(0, cache.geometry.ways - 2)
+            cache.fill(Line(target, Mesi.EXCLUSIVE, prefetched=True), position=pos)
+            self.traffic.prefetch_fills += 1
+            if stats.recording:
+                stats.prefetches_issued += 1
+
+    def _bump_tick(self) -> None:
+        self._accesses_since_tick += 1
+        if self._accesses_since_tick >= self.config.tick_interval:
+            self._accesses_since_tick = 0
+            self.policy.tick()
+
+    # ------------------------------------------------------------------ #
+    # Invariant checks (used by tests)
+    # ------------------------------------------------------------------ #
+
+    def check_invariants(self) -> None:
+        """Verify directory/cache consistency and MESI exclusivity."""
+        seen: dict[int, set[int]] = {}
+        for cache in self.l2s:
+            for line in cache.iter_lines():
+                seen.setdefault(line.addr, set()).add(cache.cache_id)
+                if line.state in (Mesi.MODIFIED, Mesi.EXCLUSIVE):
+                    holders = self.directory.holders(line.addr)
+                    if len(holders) != 1:
+                        raise AssertionError(
+                            f"{line.state} line {line.addr:#x} has holders {holders}"
+                        )
+        for addr, holders in seen.items():
+            if frozenset(holders) != self.directory.holders(addr):
+                raise AssertionError(f"directory desync for line {addr:#x}")
+        for i, l1 in enumerate(self.l1s):
+            for line in l1._array.iter_lines():  # test-only introspection
+                if not self.l2s[i].contains(line.addr):
+                    raise AssertionError(
+                        f"inclusion violated: L1[{i}] holds {line.addr:#x}"
+                    )
+
+
+class SharedHierarchy(MemoryHierarchy):
+    """Banked shared LLC of aggregate capacity (Section 6.1 comparison).
+
+    Addresses interleave across banks; following the paper, each access is
+    charged the *average* bank latency, which grows with the core count.
+    All caches are write-back in this configuration.
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        aggregate = CacheGeometry(
+            config.l2_geometry.size_bytes * config.num_cores,
+            config.l2_geometry.ways,
+            config.l2_geometry.line_bytes,
+        )
+        self.llc = CacheArray(aggregate)
+        self.l1s = [L1Cache(config.l1_geometry) for _ in range(config.num_cores)]
+        self.stats = [CoreStats(core_id=i) for i in range(config.num_cores)]
+        self.traffic = BusTraffic()
+        self._latency = config.latencies.shared_llc(config.num_cores)
+
+    def access(self, core_id: int, line_addr: int, is_write: bool, pc: int) -> float:
+        stats = self.stats[core_id]
+        if stats.recording:
+            stats.l2_accesses += 1
+        line = self.llc.lookup(line_addr)
+        if line is not None:
+            if is_write:
+                line.state = Mesi.MODIFIED
+            self.traffic.local_hits += 1
+            if stats.recording:
+                stats.l2_local_hits += 1
+            self.l1s[core_id].allocate(line_addr)
+            return self._latency
+        self.traffic.memory_fetches += 1
+        if stats.recording:
+            stats.l2_memory_fetches += 1
+        state = Mesi.MODIFIED if is_write else Mesi.EXCLUSIVE
+        victim = self.llc.fill(Line(line_addr, state), position=0)
+        if victim is not None:
+            for l1 in self.l1s:
+                l1.invalidate(victim.addr)
+            if victim.state is Mesi.MODIFIED:
+                self.traffic.writebacks += 1
+                if stats.recording:
+                    stats.writebacks += 1
+        self.l1s[core_id].allocate(line_addr)
+        return self._latency + self.config.latencies.memory
+
+    def write_through(self, core_id: int, line_addr: int) -> None:
+        line = self.llc.probe(line_addr)
+        if line is not None:
+            line.state = Mesi.MODIFIED
+        if self.stats[core_id].recording:
+            self.stats[core_id].wt_writes += 1

@@ -1,0 +1,25 @@
+"""Synthetic workloads: primitives, SPEC CPU2006 models, mixes."""
+
+from repro.workloads.mixes import MIX2, MIX4, all_mixes, make_workloads, mix_name
+from repro.workloads.spec2006 import (
+    BENCHMARKS,
+    FIGURE1_CODES,
+    BenchmarkInstance,
+    BenchmarkSpec,
+    all_codes,
+    benchmark,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkInstance",
+    "BenchmarkSpec",
+    "FIGURE1_CODES",
+    "MIX2",
+    "MIX4",
+    "all_codes",
+    "all_mixes",
+    "benchmark",
+    "make_workloads",
+    "mix_name",
+]

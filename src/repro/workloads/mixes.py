@@ -1,0 +1,71 @@
+"""Multiprogrammed workload mixes.
+
+The paper evaluates 6 four-application mixes (listed in Table 1 / Figures
+4, 5, 8, 9) and 14 two-application mixes (Figures 7, 10, 11) built from the
+13 Table 3 benchmarks, covering donor+taker combinations, all-taker mixes
+and mixes where nobody benefits from extra space.  The four-app mixes are
+taken verbatim from Table 1; the paper does not enumerate the two-app
+mixes, so we construct 14 pairs spanning the same category combinations,
+including the one pair the text names (429+401, whose local hits turning
+remote makes ASCC/AVGCC lose — the Figure 10/11 discussion).
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import ScaleModel
+from repro.workloads.spec2006 import BenchmarkInstance, benchmark
+
+#: Address-space span reserved per core: benchmarks never share lines.
+_CORE_SPAN = 1 << 32
+
+#: The six four-application mixes of Table 1 (SPEC codes).
+MIX4: list[tuple[int, ...]] = [
+    (445, 401, 444, 456),
+    (445, 444, 456, 471),
+    (433, 462, 450, 401),
+    (433, 471, 473, 482),
+    (458, 444, 401, 471),
+    (458, 444, 471, 462),
+]
+
+#: Fourteen two-application mixes (see module docstring).
+MIX2: list[tuple[int, ...]] = [
+    (429, 401),  # two capacity-hungry apps; named in the Fig. 10 discussion
+    (429, 444),
+    (471, 444),
+    (473, 445),
+    (450, 458),
+    (456, 444),
+    (401, 445),
+    (433, 471),
+    (462, 473),
+    (482, 429),
+    (433, 462),  # two streamers: nobody can donate or gain
+    (444, 445),  # two donors: nobody needs space
+    (471, 473),
+    (470, 450),
+]
+
+
+def mix_name(codes: tuple[int, ...]) -> str:
+    """The paper's naming convention, e.g. ``445+444+456+471``."""
+    return "+".join(str(c) for c in codes)
+
+
+def make_workloads(
+    codes: tuple[int, ...], scale: ScaleModel = ScaleModel()
+) -> list[BenchmarkInstance]:
+    """Instantiate a mix: one benchmark per core, disjoint address spaces."""
+    return [
+        benchmark(code).instantiate(scale, base=(core + 1) * _CORE_SPAN)
+        for core, code in enumerate(codes)
+    ]
+
+
+def all_mixes(num_cores: int) -> list[tuple[int, ...]]:
+    """The paper's mix list for a core count (2 or 4)."""
+    if num_cores == 2:
+        return list(MIX2)
+    if num_cores == 4:
+        return list(MIX4)
+    raise ValueError(f"the paper defines mixes for 2 or 4 cores, not {num_cores}")

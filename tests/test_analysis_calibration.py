@@ -1,0 +1,24 @@
+"""The calibration module produces a coherent report."""
+
+from repro.analysis.calibration import (
+    calibrate,
+    format_calibration,
+    worst_ratio,
+)
+from repro.experiments.runner import ExperimentRunner
+
+
+def test_calibrate_report():
+    runner = ExperimentRunner(quota=30_000, warmup=20_000)
+    rows = calibrate(runner, codes=[444, 429])
+    assert [r.code for r in rows] == [444, 429]
+    assert all(r.measured_mpki > 0 for r in rows)
+    text = format_calibration(rows)
+    assert "444.namd" in text and "429.mcf" in text
+
+
+def test_worst_ratio_symmetry():
+    runner = ExperimentRunner(quota=30_000, warmup=20_000)
+    rows = calibrate(runner, codes=[444])
+    w = worst_ratio(rows)
+    assert w >= 1.0

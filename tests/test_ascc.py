@@ -1,0 +1,141 @@
+"""ASCC policy behaviour on miniature systems."""
+
+from random import Random
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.ascc import ASCC, make_ascc, make_ascc_2s, make_ascc_granular
+from repro.core.states import SetRole
+
+
+def attach(policy, caches=2, sets=4, ways=4):
+    policy.attach(caches, CacheGeometry(sets * ways * 32, ways, 32), Random(3))
+    return policy
+
+
+def saturate(policy, cache, set_idx):
+    for _ in range(2 * 4):
+        policy.on_access(cache, set_idx, "miss")
+
+
+def test_roles_follow_ssl():
+    p = attach(make_ascc())
+    assert p.role(0, 0) is SetRole.RECEIVER
+    saturate(p, 0, 0)
+    assert p.role(0, 0) is SetRole.SPILLER
+    assert p.should_spill(0, 0)
+
+
+def test_select_receiver_prefers_min():
+    p = attach(make_ascc(), caches=3)
+    saturate(p, 0, 1)
+    p.on_access(1, 1, "miss")  # cache 1 ssl=1
+    # cache 2 ssl=0 -> the minimum
+    assert p.select_receiver(0, 1) == 2
+
+
+def test_no_receiver_triggers_capacity_mode():
+    p = attach(make_ascc())
+    saturate(p, 0, 2)
+    saturate(p, 1, 2)
+    assert p.select_receiver(0, 2) is None
+    assert p.banks[0].in_capacity_mode(2)
+    # insertion now uses SABIP (positions 0 or ways-2)
+    positions = {p.insertion_position(0, 2) for _ in range(50)}
+    assert positions <= {0, 2}
+    assert 2 in positions
+
+
+def test_capacity_mode_suppressed_during_warmup():
+    p = attach(make_ascc())
+    p.begin_warmup()
+    saturate(p, 0, 2)
+    saturate(p, 1, 2)
+    assert p.select_receiver(0, 2) is None
+    assert not p.banks[0].in_capacity_mode(2)
+    p.end_warmup()
+    p.select_receiver(0, 2)
+    assert p.banks[0].in_capacity_mode(2)
+
+
+def test_capacity_mode_reverts_to_mru_below_k():
+    p = attach(make_ascc())
+    saturate(p, 0, 0)
+    saturate(p, 1, 0)
+    p.select_receiver(0, 0)
+    assert p.banks[0].in_capacity_mode(0)
+    for _ in range(20):
+        p.on_access(0, 0, "local")
+    assert p.insertion_position(0, 0) == 0
+    assert not p.banks[0].in_capacity_mode(0)
+
+
+def test_remote_hits_count_double():
+    p = attach(make_ascc())
+    p.on_access(0, 0, "remote")
+    assert p.banks[0].value(0) == 2
+    p.on_access(0, 0, "miss")
+    assert p.banks[0].value(0) == 3
+    p.on_access(0, 0, "local")
+    assert p.banks[0].value(0) == 2
+
+
+def test_spill_bumps_receiver_pressure():
+    p = attach(make_ascc())
+    p.on_spill(0, 1, 3)
+    assert p.banks[1].value(3) == 1
+    assert p.banks[0].value(3) == 0
+
+
+def test_tick_decays():
+    p = attach(make_ascc())
+    p.on_access(0, 0, "miss")
+    p.tick()
+    assert p.banks[0].value(0) == 0
+
+
+def test_two_state_has_no_neutral():
+    p = attach(make_ascc_2s())
+    for _ in range(4):
+        p.on_access(0, 0, "miss")
+    assert p.role(0, 0) is SetRole.SPILLER  # ssl=4 >= K=4
+    assert p.should_spill(0, 0)
+
+
+def test_granular_variant_groups_sets():
+    p = attach(make_ascc_granular(4), sets=8)
+    p.on_access(0, 0, "miss")
+    assert p.banks[0].value(3) == 1  # same counter
+    assert p.banks[0].value(4) == 0
+
+
+def test_granularity_clamps_to_cache():
+    p = attach(make_ascc_granular(4096), sets=8)
+    assert p.banks[0].counters_in_use == 1
+
+
+def test_lrs_variant_never_enters_capacity_mode():
+    p = attach(ASCC(capacity_policy=None, receiver_selection="random"))
+    saturate(p, 0, 0)
+    saturate(p, 1, 0)
+    assert p.select_receiver(0, 0) is None
+    assert not p.banks[0].in_capacity_mode(0)
+    assert p.insertion_position(0, 0) == 0
+
+
+def test_invalid_receiver_selection_rejected():
+    with pytest.raises(ValueError):
+        ASCC(receiver_selection="best")
+
+
+def test_swap_flag():
+    p = attach(make_ascc())
+    assert p.wants_swap(0, 0)
+    q = attach(ASCC(swap=False))
+    assert not q.wants_swap(0, 0)
+
+
+def test_describe_mentions_granularity():
+    p = attach(make_ascc())
+    assert "D=0" in p.describe()

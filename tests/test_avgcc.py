@@ -1,0 +1,120 @@
+"""AVGCC granularity adaptation and the hardware A/B tracker."""
+
+from random import Random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.avgcc import AVGCC, HardwareGranularityTracker
+from repro.core.saturation import SetStateBank
+
+
+def attach(policy, caches=2, sets=16, ways=8):
+    policy.attach(caches, CacheGeometry(sets * ways * 32, ways, 32), Random(9))
+    return policy
+
+
+def test_starts_with_one_counter_per_cache():
+    p = attach(AVGCC())
+    for bank in p.banks:
+        assert bank.counters_in_use == 1
+
+
+def test_duplicates_when_majority_low():
+    p = attach(AVGCC())
+    bank = p.banks[0]
+    # single counter, value 0 < K -> more than half (1 > 0) are low
+    p.tick()
+    assert bank.counters_in_use == 2
+
+
+def test_halves_when_pairs_similar():
+    p = attach(AVGCC())
+    bank = p.banks[0]
+    bank.set_granularity(bank.max_granularity_log2 - 1)  # two counters
+    # both counters at K-1: similar and NOT below K... make them >= K
+    for s in (0, 8):
+        for _ in range(3):
+            bank.on_miss(s)  # both at 10: |diff| = 0, >= K, no duplication
+    p._adjust(bank)
+    assert bank.counters_in_use == 1
+
+
+def test_no_halving_when_policies_differ():
+    p = attach(AVGCC())
+    bank = p.banks[0]
+    bank.set_granularity(bank.max_granularity_log2 - 1)
+    for s in (0, 8):
+        for _ in range(3):
+            bank.on_miss(s)
+    bank.enter_capacity_mode(0)
+    p._adjust(bank)
+    assert bank.counters_in_use == 2
+
+
+def test_max_counters_limits_duplication():
+    p = attach(AVGCC(max_counters=4), sets=16)
+    bank = p.banks[0]
+    for _ in range(10):
+        p.tick()  # would keep duplicating while everything is low
+    assert bank.counters_in_use <= 4
+
+
+def test_invalid_max_counters():
+    with pytest.raises(ValueError):
+        AVGCC(max_counters=3)
+
+
+def test_regrain_resets_counters():
+    p = attach(AVGCC())
+    bank = p.banks[0]
+    bank.on_miss(0)
+    before = bank.counters_in_use
+    p.tick()  # duplication resets new counters to K-1
+    if bank.counters_in_use != before:
+        assert all(v == 7 for v in bank.values_in_use())
+
+
+# ------------------------------------------------------------------ #
+# HardwareGranularityTracker equivalence
+# ------------------------------------------------------------------ #
+
+@settings(max_examples=60)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["hit", "miss"]), st.integers(0, 15)),
+        max_size=200,
+    ),
+    d=st.integers(min_value=0, max_value=3),
+)
+def test_incremental_a_b_match_recomputation(ops, d):
+    bank = SetStateBank(16, 8, granularity_log2=d)
+    tracker = HardwareGranularityTracker(bank)
+    for op, s in ops:
+        if op == "hit":
+            tracker.on_hit(s)
+        else:
+            tracker.on_miss(s)
+        assert tracker.a == bank.similar_pair_count()
+        assert tracker.b == bank.low_value_count()
+
+
+def test_tracker_handles_capacity_mode_changes():
+    bank = SetStateBank(8, 4, granularity_log2=0)
+    tracker = HardwareGranularityTracker(bank)
+    tracker.on_capacity_mode_change(0, enter=True)
+    assert tracker.a == bank.similar_pair_count()
+    tracker.on_capacity_mode_change(0, enter=False)
+    assert tracker.a == bank.similar_pair_count()
+
+
+def test_tracker_regrain_resync():
+    bank = SetStateBank(8, 4)
+    tracker = HardwareGranularityTracker(bank)
+    for _ in range(5):
+        tracker.on_miss(0)
+    bank.set_granularity(1)
+    tracker.on_regrain()
+    assert tracker.a == bank.similar_pair_count()
+    assert tracker.b == bank.low_value_count()

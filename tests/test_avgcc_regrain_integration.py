@@ -1,0 +1,49 @@
+"""AVGCC's A/B/D machinery drives real re-graining during simulation."""
+
+from random import Random
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.avgcc import AVGCC
+
+
+def attach(policy, caches=2, sets=32, ways=8):
+    policy.attach(caches, CacheGeometry(sets * ways * 32, ways, 32), Random(0))
+    return policy
+
+
+def test_duplication_cascades_down_to_finest():
+    """With everything quiet (all counters low), repeated periods drive
+    the granularity to one counter per set."""
+    p = attach(AVGCC())
+    bank = p.banks[0]
+    for _ in range(bank.max_granularity_log2 + 2):
+        p.tick()
+    assert bank.counters_in_use == 32
+
+
+def test_mixed_pressure_blocks_halving():
+    """Dissimilar neighbour counters keep the granularity fine."""
+    p = attach(AVGCC())
+    bank = p.banks[0]
+    p.tick()  # 1 -> 2 counters
+    assert bank.counters_in_use == 2
+    # Drive the two counters far apart: misses only in the low half.
+    for _ in range(12):
+        for s in range(4):
+            p.on_access(0, s, "miss")
+    before = bank.counters_in_use
+    p._adjust(bank)
+    # |15 - 0| > 2: the halving condition fails; only duplication applies.
+    assert bank.counters_in_use >= before
+
+
+def test_caches_regrain_independently():
+    p = attach(AVGCC(), caches=2)
+    # cache 0 quiet (duplicates), cache 1 all-miss (stays coarse)
+    for _ in range(8):
+        for s in range(32):
+            p.on_access(1, s, "miss")
+    p.tick()
+    # the quiet cache refined; the saturated cache stayed coarse
+    assert p.banks[0].counters_in_use >= 2
+    assert p.banks[1].counters_in_use == 1

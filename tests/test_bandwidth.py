@@ -1,0 +1,35 @@
+"""Interconnect bandwidth analysis."""
+
+import pytest
+
+from repro.analysis.bandwidth import bandwidth_report
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(quota=40_000, warmup=40_000)
+
+
+def test_report_fields(runner):
+    report = bandwidth_report(runner.run((471, 444), "baseline"))
+    assert report.scheme == "baseline"
+    assert report.flits_per_kiloinstruction > 0
+    assert report.data_messages > 0
+
+
+def test_cooperation_reduces_offchip_dominated_load(runner):
+    base = bandwidth_report(runner.run((471, 444), "baseline"))
+    avgcc = bandwidth_report(runner.run((471, 444), "avgcc"))
+    # Spills add messages but each saved memory fetch removes a data
+    # transfer and a writeback; net load must not explode.
+    assert avgcc.flits_per_kiloinstruction < base.flits_per_kiloinstruction * 1.3
+
+
+def test_zero_baseline_rejected(runner):
+    base = bandwidth_report(runner.run((471, 444), "baseline"))
+    from repro.analysis.bandwidth import BandwidthReport
+
+    empty = BandwidthReport("x", "w", 0.0, 0, 0)
+    with pytest.raises(ValueError):
+        base.reduction_versus(empty)

@@ -1,0 +1,30 @@
+"""Latency model and traffic accounting."""
+
+from repro.interconnect.bus import BusTraffic, LatencyModel
+
+
+def test_paper_latencies():
+    lat = LatencyModel()
+    assert lat.l2_local_hit == 9
+    assert lat.l2_remote_hit == 25
+    assert lat.memory == 460  # 115ns at 4GHz
+
+
+def test_shared_latency_grows_with_cores():
+    lat = LatencyModel()
+    assert lat.shared_llc(2) == 18
+    assert lat.shared_llc(4) == 36
+
+
+def test_flit_accounting():
+    t = BusTraffic(remote_hits=2, spills=1, swaps=1, invalidations=3, snoop_broadcasts=1)
+    assert t.data_messages() == 2 + 1 + 2
+    assert t.control_messages() == 4
+    assert t.total_flits() == 5 * 5 + 4
+
+
+def test_merge():
+    a = BusTraffic(spills=1)
+    b = BusTraffic(spills=2, swaps=1)
+    merged = a.merged_with(b)
+    assert merged.spills == 3 and merged.swaps == 1

@@ -1,0 +1,120 @@
+"""CacheArray recency semantics, fills, evictions, directory sync."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import CacheArray, Line
+from repro.cache.geometry import CacheGeometry
+from repro.coherence.directory import PresenceDirectory
+from repro.coherence.protocol import Mesi
+
+
+def make_cache(sets=4, ways=2, directory=None, cache_id=0):
+    return CacheArray(CacheGeometry(sets * ways * 32, ways, 32), cache_id, directory)
+
+
+def line(addr):
+    return Line(addr, Mesi.EXCLUSIVE)
+
+
+def test_fill_and_lookup_promotes():
+    c = make_cache()
+    c.fill(line(0), position=0)
+    c.fill(line(4), position=0)  # same set 0 (4 sets)
+    assert c.set_lines(0)[0].addr == 4
+    c.lookup(0)
+    assert c.set_lines(0)[0].addr == 0
+
+
+def test_probe_does_not_promote():
+    c = make_cache()
+    c.fill(line(0), position=0)
+    c.fill(line(4), position=0)
+    c.probe(0)
+    assert c.set_lines(0)[0].addr == 4
+
+
+def test_fill_evicts_lru_by_default():
+    c = make_cache(sets=1, ways=2)
+    c.fill(line(0), 0)
+    c.fill(line(1), 0)
+    victim = c.fill(line(2), 0)
+    assert victim is not None and victim.addr == 0
+
+
+def test_fill_at_lru_position():
+    c = make_cache(sets=1, ways=4)
+    for a in range(3):
+        c.fill(line(a), 0)
+    c.fill(line(9), position=3)  # LRU insert
+    assert c.set_lines(0)[-1].addr == 9
+
+
+def test_victim_position_override():
+    c = make_cache(sets=1, ways=3)
+    for a in range(3):
+        c.fill(line(a), 0)
+    # stack is [2,1,0]; evict position 1 (line 1)
+    victim = c.fill(line(5), 0, victim_position=1)
+    assert victim.addr == 1
+    assert c.contains(0) and c.contains(2) and c.contains(5)
+
+
+def test_duplicate_fill_rejected():
+    c = make_cache()
+    c.fill(line(0), 0)
+    with pytest.raises(ValueError):
+        c.fill(line(0), 0)
+
+
+def test_directory_kept_in_sync():
+    d = PresenceDirectory(2)
+    c = make_cache(directory=d, cache_id=1)
+    c.fill(line(0), 0)
+    assert d.holders(0) == {1}
+    c.invalidate(0)
+    assert not d.is_on_chip(0)
+
+
+def test_invalidate_missing_returns_none():
+    c = make_cache()
+    assert c.invalidate(12345) is None
+
+
+def test_victim_candidate_none_when_not_full():
+    c = make_cache(sets=1, ways=2)
+    c.fill(line(0), 0)
+    assert c.victim_candidate(0) is None
+    c.fill(line(1), 0)
+    assert c.victim_candidate(0).addr == 0
+
+
+@settings(max_examples=60)
+@given(
+    accesses=st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=300)
+)
+def test_lru_matches_reference(accesses):
+    """The recency stack behaves exactly like a reference LRU model."""
+    ways = 4
+    c = make_cache(sets=4, ways=ways)
+    reference: dict[int, list[int]] = {s: [] for s in range(4)}  # MRU first
+    for addr in accesses:
+        s = addr & 3
+        ref = reference[s]
+        if c.lookup(addr) is not None:
+            ref.remove(addr)
+            ref.insert(0, addr)
+        else:
+            if len(ref) >= ways:
+                ref.pop()
+            ref.insert(0, addr)
+            c.fill(Line(addr, Mesi.EXCLUSIVE), position=0)
+        assert [ln.addr for ln in c.set_lines(s)] == ref
+
+
+def test_len_counts_lines():
+    c = make_cache()
+    c.fill(line(0), 0)
+    c.fill(line(1), 0)
+    assert len(c) == 2
+    assert len(list(c.iter_lines())) == 2

@@ -1,0 +1,64 @@
+"""Calibration of the benchmark models against Table 3.
+
+Loose bands: the targets are MPKI within a factor band and CPI within
++/-40%, plus the Figure 1 sensitivity classes (capacity-sensitive models
+must lose most recoverable misses when the LLC doubles twice).
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.spec2006 import all_codes, benchmark
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(quota=100_000, warmup=60_000)
+
+
+@pytest.fixture(scope="module")
+def alone(runner):
+    return {code: runner.run((code,), "baseline").cores[0] for code in all_codes()}
+
+
+@pytest.mark.parametrize("code", all_codes())
+def test_mpki_in_band(alone, code):
+    spec = benchmark(code)
+    measured = alone[code].mpki
+    assert spec.table3_mpki / 1.8 <= measured <= spec.table3_mpki * 1.8, (
+        f"{spec.label}: measured {measured:.2f} vs Table 3 {spec.table3_mpki}"
+    )
+
+
+@pytest.mark.parametrize("code", all_codes())
+def test_cpi_in_band(alone, code):
+    spec = benchmark(code)
+    measured = alone[code].cpi
+    assert spec.table3_cpi * 0.6 <= measured <= spec.table3_cpi * 1.6, (
+        f"{spec.label}: measured {measured:.2f} vs Table 3 {spec.table3_cpi}"
+    )
+
+
+def test_mpki_ordering_of_extremes(alone):
+    """The heaviest and lightest benchmarks stay in the right order."""
+    assert alone[429].mpki > alone[482].mpki > alone[473].mpki > alone[444].mpki
+
+
+@pytest.mark.parametrize("code", [471, 473])
+def test_sensitive_benchmarks_gain_from_capacity(code):
+    small = ExperimentRunner(quota=80_000, warmup=60_000, l2_paper_bytes=1 * MB)
+    large = ExperimentRunner(quota=80_000, warmup=60_000, l2_paper_bytes=4 * MB)
+    mpki_small = small.run((code,), "baseline").cores[0].offchip_mpki
+    mpki_large = large.run((code,), "baseline").cores[0].offchip_mpki
+    assert mpki_large < mpki_small * 0.75
+
+
+@pytest.mark.parametrize("code", [433, 462, 470])
+def test_streamers_do_not_gain_from_capacity(code):
+    small = ExperimentRunner(quota=60_000, warmup=40_000, l2_paper_bytes=1 * MB)
+    large = ExperimentRunner(quota=60_000, warmup=40_000, l2_paper_bytes=4 * MB)
+    mpki_small = small.run((code,), "baseline").cores[0].offchip_mpki
+    mpki_large = large.run((code,), "baseline").cores[0].offchip_mpki
+    assert mpki_large > mpki_small * 0.8

@@ -1,0 +1,47 @@
+"""CLI surface."""
+
+import pytest
+
+from repro.cli import _parse_mix, build_parser, main
+
+
+def test_schemes_command(capsys):
+    assert main(["schemes"]) == 0
+    out = capsys.readouterr().out
+    assert "avgcc" in out and "dsr" in out
+
+
+def test_mixes_command(capsys):
+    assert main(["mixes"]) == 0
+    out = capsys.readouterr().out
+    assert "429+401" in out and "445+401+444+456" in out
+
+
+def test_run_command(capsys):
+    code = main(["run", "--mix", "444+445", "--scheme", "baseline",
+                 "--quota", "4000", "--warmup", "2000"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "weighted speedup improvement" in out
+    assert "core0" in out
+
+
+def test_experiment_tab5(capsys):
+    assert main(["experiment", "tab5"]) == 0
+    assert "Table 5" in capsys.readouterr().out
+
+
+def test_bad_mix_rejected():
+    with pytest.raises(SystemExit):
+        _parse_mix("abc")
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])
+
+
+def test_parser_builds():
+    parser = build_parser()
+    args = parser.parse_args(["run", "--mix", "471+444"])
+    assert args.scheme == "avgcc"

@@ -1,0 +1,69 @@
+"""Configuration and scale model."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.interconnect.bus import LatencyModel
+from repro.sim.config import (
+    PAPER_L1,
+    PAPER_L2,
+    PAPER_SWEEP_L2,
+    PAPER_TICK_INTERVAL,
+    ScaleModel,
+    SystemConfig,
+    default_config,
+)
+
+
+def test_paper_geometries_match_table2():
+    assert PAPER_L1.size_bytes == 32 * 1024 and PAPER_L1.ways == 4
+    assert PAPER_L2.size_bytes == 1024 * 1024 and PAPER_L2.ways == 8
+    assert PAPER_L2.sets == 4096
+    assert PAPER_SWEEP_L2.ways == 16
+
+
+def test_scale_model_defaults():
+    scale = ScaleModel()
+    assert scale.l2().size_bytes == 64 * 1024
+    assert scale.l2().sets == 256
+    assert scale.l1().size_bytes == 2 * 1024
+    assert scale.sweep_l2().ways == 16
+
+
+def test_scale_unity_reproduces_paper():
+    scale = ScaleModel(scale=1.0)
+    assert scale.l2() == PAPER_L2
+    assert scale.tick_interval() == PAPER_TICK_INTERVAL
+
+
+def test_scaled_bytes_floor_one_line():
+    assert ScaleModel(scale=1 / 1024).bytes(64) == 32
+
+
+def test_custom_l2_size():
+    scale = ScaleModel()
+    assert scale.l2(2 * 1024 * 1024).size_bytes == 128 * 1024
+
+
+def test_default_config_wiring():
+    cfg = default_config(4)
+    assert cfg.num_cores == 4
+    assert cfg.l2_geometry.sets == 256
+    assert cfg.tick_interval == ScaleModel().tick_interval()
+
+
+def test_config_validation():
+    geo = CacheGeometry(64 * 1024, 8, 32)
+    l1 = CacheGeometry(2 * 1024, 4, 32)
+    with pytest.raises(ValueError):
+        SystemConfig(num_cores=0, l2_geometry=geo, l1_geometry=l1)
+    with pytest.raises(ValueError):
+        SystemConfig(num_cores=1, l2_geometry=geo, l1_geometry=l1, quota=0)
+    mismatched_l1 = CacheGeometry(2 * 1024, 4, 64)
+    with pytest.raises(ValueError):
+        SystemConfig(num_cores=1, l2_geometry=geo, l1_geometry=mismatched_l1)
+
+
+def test_latency_defaults_match_table2():
+    lat = LatencyModel()
+    assert (lat.l2_local_hit, lat.l2_remote_hit, lat.memory) == (9, 25, 460)

@@ -1,0 +1,38 @@
+"""CC: unconditional random spilling."""
+
+from random import Random
+
+from repro.cache.geometry import CacheGeometry
+from repro.policies.cooperative import CooperativeCaching
+
+
+def attach(caches):
+    p = CooperativeCaching()
+    p.attach(caches, CacheGeometry(4 * 2 * 32, 2, 32), Random(0))
+    return p
+
+
+def test_spills_whenever_peers_exist():
+    assert attach(2).should_spill(0, 0)
+    assert not attach(1).should_spill(0, 0)
+
+
+def test_receiver_never_self():
+    p = attach(4)
+    for seed in range(50):
+        p.rng = Random(seed)
+        receiver = p.select_receiver(2, 0)
+        assert receiver is not None and receiver != 2
+
+
+def test_receiver_covers_all_peers():
+    p = attach(4)
+    seen = set()
+    for seed in range(80):
+        p.rng = Random(seed)
+        seen.add(p.select_receiver(1, 0))
+    assert seen == {0, 2, 3}
+
+
+def test_one_chance():
+    assert CooperativeCaching.respill_spilled is False

@@ -1,0 +1,48 @@
+"""DIP dueling machinery."""
+
+from random import Random
+
+from repro.cache.insertion import InsertionPolicy
+from repro.policies.dip import PSEL_INIT, DipDuel
+
+
+def make_duel(caches=2, sets=256, stride=32):
+    return DipDuel(caches, sets, Random(4), stride=stride)
+
+
+def test_dedicated_sets():
+    duel = make_duel()
+    assert duel.dedicated_policy(31) is InsertionPolicy.BIP
+    assert duel.dedicated_policy(30) is InsertionPolicy.MRU
+    assert duel.dedicated_policy(5) is None
+
+
+def test_duel_moves_toward_winner():
+    duel = make_duel()
+    for _ in range(100):
+        duel.on_miss(0, 30)  # MRU dedicated sets missing -> BIP better
+    assert duel.psel[0] > PSEL_INIT
+    assert duel.winner(0) is InsertionPolicy.BIP
+    for _ in range(300):
+        duel.on_miss(0, 31)  # BIP sets missing -> MRU better
+    assert duel.winner(0) is InsertionPolicy.MRU
+
+
+def test_followers_use_winner():
+    duel = make_duel()
+    duel.psel[0] = 0
+    assert duel.policy_for(0, 7) is InsertionPolicy.MRU
+    duel.psel[0] = PSEL_INIT
+    assert duel.policy_for(0, 7) is InsertionPolicy.BIP
+
+
+def test_insertion_positions_in_range():
+    duel = make_duel()
+    for s in range(64):
+        assert 0 <= duel.insertion_position(0, s, 8) < 8
+
+
+def test_per_cache_independence():
+    duel = make_duel()
+    duel.on_miss(0, 30)
+    assert duel.psel[1] == PSEL_INIT

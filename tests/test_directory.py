@@ -1,0 +1,73 @@
+"""Presence-directory bookkeeping and invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coherence.directory import PresenceDirectory
+
+
+def test_add_and_holders():
+    d = PresenceDirectory(4)
+    d.add(0x10, 1)
+    d.add(0x10, 3)
+    assert d.holders(0x10) == {1, 3}
+    assert d.peers(0x10, 1) == [3]
+    assert not d.is_last_copy(0x10, 1)
+
+
+def test_last_copy():
+    d = PresenceDirectory(2)
+    d.add(5, 0)
+    assert d.is_last_copy(5, 0)
+    assert not d.is_last_copy(5, 1)
+
+
+def test_remove_clears_entry():
+    d = PresenceDirectory(2)
+    d.add(5, 0)
+    d.remove(5, 0)
+    assert not d.is_on_chip(5)
+    assert len(d) == 0
+
+
+def test_remove_nonholder_raises():
+    d = PresenceDirectory(2)
+    d.add(5, 0)
+    with pytest.raises(KeyError):
+        d.remove(5, 1)
+
+
+def test_bad_cache_id_rejected():
+    d = PresenceDirectory(2)
+    with pytest.raises(ValueError):
+        d.add(1, 2)
+    with pytest.raises(ValueError):
+        PresenceDirectory(0)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),   # line
+            st.integers(min_value=0, max_value=3),   # cache
+        ),
+        max_size=200,
+    )
+)
+def test_matches_reference_model(ops):
+    d = PresenceDirectory(4)
+    reference: dict[int, set[int]] = {}
+    for line, cache in ops:
+        holders = reference.setdefault(line, set())
+        if cache in holders:
+            holders.discard(cache)
+            if not holders:
+                del reference[line]
+            d.remove(line, cache)
+        else:
+            holders.add(cache)
+            d.add(line, cache)
+    for line, holders in reference.items():
+        assert d.holders(line) == holders
+        assert d.holder_count(line) == len(holders)
+    assert len(d) == len(reference)

@@ -1,0 +1,28 @@
+"""Documentation hygiene: every public module and class is documented."""
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+MODULES = sorted(p for p in SRC.rglob("*.py") if p.name != "__init__.py")
+
+
+@pytest.mark.parametrize("path", MODULES, ids=lambda p: str(p.relative_to(SRC)))
+def test_module_has_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path} lacks a module docstring"
+
+
+@pytest.mark.parametrize("path", MODULES, ids=lambda p: str(p.relative_to(SRC)))
+def test_public_classes_have_docstrings(path):
+    tree = ast.parse(path.read_text())
+    undocumented = [
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+        and not node.name.startswith("_")
+        and not ast.get_docstring(node)
+    ]
+    assert not undocumented, f"{path}: {undocumented}"

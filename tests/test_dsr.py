@@ -1,0 +1,100 @@
+"""DSR set dueling: SDM layout, PSEL updates, roles, 3-state bands."""
+
+from random import Random
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.states import SetRole
+from repro.policies.dsr import DSR, PSEL_INIT, PSEL_MAX
+
+
+def attach(policy, caches=4, sets=256, ways=8):
+    policy.attach(caches, CacheGeometry(sets * ways * 32, ways, 32), Random(1))
+    return policy
+
+
+def test_sdm_ownership_layout():
+    p = attach(DSR())
+    owner = p.sdm_owner(0)
+    assert owner == (0, SetRole.SPILLER)
+    assert p.sdm_owner(1) == (0, SetRole.RECEIVER)
+    assert p.sdm_owner(2) == (1, SetRole.SPILLER)
+    assert p.sdm_owner(2 * 4) is None  # beyond 2*num_caches residues
+
+
+def test_dedicated_roles_override_psel():
+    p = attach(DSR())
+    assert p.role(0, 0) is SetRole.SPILLER
+    assert p.role(0, 1) is SetRole.RECEIVER
+
+
+def test_peers_receive_for_spiller_sdm():
+    p = attach(DSR())
+    # set 0 is cache 0's spiller SDM: every other cache receives there
+    for cache in (1, 2, 3):
+        assert p.role(cache, 0) is SetRole.RECEIVER
+
+
+def test_psel_updates_on_offchip_misses_only():
+    p = attach(DSR())
+    before = p.psel[0]
+    p.on_access(2, 0, "local")
+    p.on_access(2, 0, "remote")
+    assert p.psel[0] == before
+    p.on_access(2, 0, "miss")   # miss in cache 0's spiller SDM
+    assert p.psel[0] == before - 1
+    p.on_access(3, 1, "miss")   # miss in cache 0's receiver SDM
+    assert p.psel[0] == before
+
+
+def test_psel_clamps():
+    p = attach(DSR())
+    for _ in range(5000):
+        p.on_access(0, 0, "miss")
+    assert p.psel[0] == 0
+    for _ in range(5000):
+        p.on_access(0, 1, "miss")
+    assert p.psel[0] == PSEL_MAX
+
+
+def test_follower_role_two_state():
+    p = attach(DSR())
+    p.psel[1] = PSEL_MAX
+    assert p.cache_role(1) is SetRole.SPILLER
+    p.psel[1] = 0
+    assert p.cache_role(1) is SetRole.RECEIVER
+
+
+def test_three_state_bands():
+    p = attach(DSR(three_state=True))
+    p.psel[0] = PSEL_MAX
+    assert p.cache_role(0) is SetRole.SPILLER
+    p.psel[0] = 0
+    assert p.cache_role(0) is SetRole.RECEIVER
+    p.psel[0] = PSEL_INIT
+    assert p.cache_role(0) is SetRole.NEUTRAL
+
+
+def test_select_receiver_requires_receiver_role():
+    p = attach(DSR())
+    for j in range(4):
+        p.psel[j] = PSEL_MAX  # everyone wants to spill
+    follower_set = 2 * 4  # no SDM owner
+    assert p.select_receiver(0, follower_set) is None
+    p.psel[2] = 0
+    assert p.select_receiver(0, follower_set) == 2
+
+
+def test_should_spill_spiller_sdm_always():
+    p = attach(DSR())
+    p.psel[0] = 0  # follower role receiver
+    assert p.should_spill(0, 0)       # own spiller SDM
+    assert not p.should_spill(0, 2 * 4)  # follower
+
+
+def test_one_chance_forwarding():
+    assert DSR.respill_spilled is False
+
+
+def test_names():
+    assert DSR().name == "dsr"
+    assert DSR(three_state=True).name == "dsr-3s"

@@ -1,0 +1,31 @@
+"""DSR's SDM layout degrades gracefully on tiny scaled caches."""
+
+from random import Random
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.states import SetRole
+from repro.policies.dsr import DSR
+
+
+@pytest.mark.parametrize("sets,caches", [(64, 4), (32, 2), (256, 8), (64, 2)])
+def test_sdm_residues_fit(sets, caches):
+    p = DSR()
+    p.attach(caches, CacheGeometry(sets * 8 * 32, 8, 32), Random(0))
+    # every cache must own a spiller and a receiver SDM residue
+    owners = set()
+    for s in range(sets):
+        owner = p.sdm_owner(s)
+        if owner is not None:
+            owners.add(owner)
+    for i in range(caches):
+        assert (i, SetRole.SPILLER) in owners
+        assert (i, SetRole.RECEIVER) in owners
+
+
+def test_followers_exist():
+    p = DSR()
+    p.attach(2, CacheGeometry(256 * 8 * 32, 8, 32), Random(0))
+    followers = sum(1 for s in range(256) if p.sdm_owner(s) is None)
+    assert followers > 128  # most sets follow the duel

@@ -1,0 +1,85 @@
+"""ECC regions, repartitioning and victim selection."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.policies.ecc import (
+    MIN_PRIVATE_FRACTION,
+    ElasticCooperativeCaching,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.system import PrivateHierarchy
+
+
+def make_system(caches=2, sets=4, ways=4):
+    cfg = SystemConfig(
+        num_cores=caches,
+        l2_geometry=CacheGeometry(sets * ways * 32, ways, 32),
+        l1_geometry=CacheGeometry(32, 1, 32),
+        quota=100,
+        tick_interval=10_000,
+    )
+    pol = ElasticCooperativeCaching()
+    return PrivateHierarchy(cfg, pol), pol
+
+
+def test_initial_partition_half():
+    _, pol = make_system(ways=8)
+    assert pol.private_ways == [4, 4]
+
+
+def test_grow_on_heavy_missing():
+    _, pol = make_system(ways=8)
+    for _ in range(100):
+        pol.on_access(0, 0, "miss")
+    pol.tick()
+    assert pol.private_ways[0] == 5
+
+
+def test_shrink_on_light_missing_with_floor():
+    _, pol = make_system(ways=8)
+    for _ in range(12):
+        for _ in range(100):
+            pol.on_access(0, 0, "local")
+        pol.tick()
+    assert pol.private_ways[0] == max(1, int(8 * MIN_PRIVATE_FRACTION))
+
+
+def test_receiver_is_biggest_shared_region():
+    _, pol = make_system(caches=3, ways=8)
+    pol.private_ways = [4, 6, 2]
+    assert pol.select_receiver(0, 0) == 2
+    assert pol.select_receiver(2, 0) == 0
+
+
+def test_spill_victim_prefers_shared_region():
+    h, pol = make_system(caches=2, sets=1, ways=4)
+    # fill receiver set: 2 private + 2 shared lines
+    from repro.cache.cache import Line
+    from repro.coherence.protocol import Mesi
+    cache = h.l2s[1]
+    cache.fill(Line(0, Mesi.EXCLUSIVE), 0)
+    cache.fill(Line(1, Mesi.EXCLUSIVE, spilled=True, shared_region=True), 0)
+    cache.fill(Line(2, Mesi.EXCLUSIVE), 0)
+    cache.fill(Line(3, Mesi.EXCLUSIVE, spilled=True, shared_region=True), 0)
+    pol.private_ways[1] = 2
+    pos = pol.choose_victim_position(1, 0, "spill")
+    assert cache.set_lines(0)[pos].shared_region
+
+
+def test_demand_victim_stays_private():
+    h, pol = make_system(caches=2, sets=1, ways=4)
+    from repro.cache.cache import Line
+    from repro.coherence.protocol import Mesi
+    cache = h.l2s[0]
+    cache.fill(Line(0, Mesi.EXCLUSIVE), 0)
+    cache.fill(Line(1, Mesi.EXCLUSIVE, spilled=True, shared_region=True), 0)
+    cache.fill(Line(2, Mesi.EXCLUSIVE), 0)
+    cache.fill(Line(3, Mesi.EXCLUSIVE), 0)
+    pol.private_ways[0] = 2  # 3 private lines >= P
+    pos = pol.choose_victim_position(0, 0, "demand")
+    assert not cache.set_lines(0)[pos].shared_region
+
+
+def test_always_spills():
+    _, pol = make_system()
+    assert pol.should_spill(0, 0)
+    assert pol.respill_spilled is False

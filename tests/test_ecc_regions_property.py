@@ -1,0 +1,38 @@
+"""Property test: ECC never evicts a private line for a spill while the
+shared region is at or above its allocation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import CacheArray, Line
+from repro.cache.geometry import CacheGeometry
+from repro.coherence.protocol import Mesi
+from repro.policies.ecc import ElasticCooperativeCaching
+from repro.sim.config import SystemConfig
+from repro.sim.system import PrivateHierarchy
+
+
+@settings(max_examples=40)
+@given(
+    shared_flags=st.lists(st.booleans(), min_size=4, max_size=4),
+    p=st.integers(min_value=1, max_value=3),
+)
+def test_spill_victim_region_rule(shared_flags, p):
+    cfg = SystemConfig(
+        num_cores=2,
+        l2_geometry=CacheGeometry(1 * 4 * 32, 4, 32),
+        l1_geometry=CacheGeometry(32, 1, 32),
+        quota=10,
+        tick_interval=10_000,
+    )
+    pol = ElasticCooperativeCaching()
+    h = PrivateHierarchy(cfg, pol)
+    cache = h.l2s[1]
+    for addr, shared in enumerate(shared_flags):
+        cache.fill(Line(addr, Mesi.EXCLUSIVE, spilled=shared, shared_region=shared), 0)
+    pol.private_ways[1] = p
+    pos = pol.choose_victim_position(1, 0, "spill")
+    lines = cache.set_lines(0)
+    shared_count = sum(ln.shared_region for ln in lines)
+    if shared_count >= 4 - p:
+        # region full: the victim must come from the shared region
+        assert lines[pos].shared_region

@@ -1,0 +1,34 @@
+"""Event-energy model."""
+
+import pytest
+
+from repro.analysis.energy import EnergyModel
+from repro.interconnect.bus import BusTraffic
+from repro.sim.results import SystemResult
+
+
+def result_with_traffic(**kw):
+    t = BusTraffic()
+    for k, v in kw.items():
+        setattr(t, k, v)
+    return SystemResult(scheme="s", workload="w", cores=[], traffic=t)
+
+
+def test_dram_dominates():
+    model = EnergyModel()
+    dram_heavy = result_with_traffic(memory_fetches=100)
+    chip_heavy = result_with_traffic(local_hits=100)
+    assert model.energy(dram_heavy) > 10 * model.energy(chip_heavy)
+
+
+def test_reduction_tracks_offchip_savings():
+    model = EnergyModel()
+    base = result_with_traffic(local_hits=100, memory_fetches=100)
+    better = result_with_traffic(local_hits=150, remote_hits=40, memory_fetches=10)
+    assert model.reduction(better, base) > 0.5
+
+
+def test_zero_baseline_rejected():
+    model = EnergyModel()
+    with pytest.raises(ValueError):
+        model.reduction(result_with_traffic(), result_with_traffic())

@@ -1,0 +1,29 @@
+"""Energy and bandwidth models agree with the traffic they summarise."""
+
+import pytest
+
+from repro.analysis.bandwidth import bandwidth_report
+from repro.analysis.energy import EnergyModel
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(quota=30_000, warmup=30_000)
+
+
+def test_energy_reduction_tracks_offchip_reduction(runner):
+    """For a mix where cooperation removes off-chip accesses, the energy
+    model must report a reduction too (DRAM dominates the budget)."""
+    out = runner.outcome((471, 444), "avgcc")
+    if out.offchip_reduction > 0.05:
+        model = EnergyModel()
+        assert model.reduction(out.result, out.baseline) > 0
+
+
+def test_bandwidth_and_energy_consistent_zero_change(runner):
+    base = runner.run((444, 445), "baseline")
+    model = EnergyModel()
+    assert model.reduction(base, base) == pytest.approx(0.0)
+    report = bandwidth_report(base)
+    assert report.reduction_versus(report) == pytest.approx(0.0)

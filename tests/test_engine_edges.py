@@ -1,0 +1,68 @@
+"""Engine edge cases: finite traces restart, stats freezing, warmup=0."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cpu.timing import TimingModel
+from repro.policies.private_lru import PrivateLRU
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Engine
+from repro.sim.system import PrivateHierarchy
+
+
+class FiniteWorkload:
+    """A trace that ends after 50 records; the engine must restart it."""
+
+    name = "finite"
+
+    def __init__(self, base=0, base_cpi=1.0):
+        self.timing = TimingModel(base_cpi, 1.0)
+        self.base = base
+        self.restarts = 0
+
+    def trace(self, rng):
+        self.restarts += 1
+
+        def gen():
+            for i in range(50):
+                yield 1, 0, self.base + i * 32, False
+
+        return gen()
+
+
+def make(workloads, quota, warmup=0):
+    cfg = SystemConfig(
+        num_cores=len(workloads),
+        l2_geometry=CacheGeometry(16 * 2 * 32, 2, 32),
+        l1_geometry=CacheGeometry(2 * 32, 1, 32),
+        quota=quota,
+    )
+    h = PrivateHierarchy(cfg, PrivateLRU())
+    return Engine(h, workloads, quota, seed=1, warmup=warmup), h
+
+
+def test_finite_trace_restarts():
+    w = FiniteWorkload()
+    engine, h = make([w], quota=500)
+    engine.run()
+    assert w.restarts > 1
+    assert h.stats[0].instructions >= 500
+
+
+def test_zero_warmup_records_from_start():
+    w = FiniteWorkload()
+    engine, h = make([w], quota=80)
+    engine.run()
+    assert h.stats[0].l2_accesses > 0
+    assert h.stats[0].instructions >= 80
+
+
+def test_faster_core_keeps_running_after_quota():
+    """The finished core's stats freeze but the caches keep competing."""
+    fast = FiniteWorkload(base=0, base_cpi=1.0)
+    slow = FiniteWorkload(base=1 << 20, base_cpi=5000.0)
+    engine, h = make([fast, slow], quota=300)
+    engine.run()
+    # both recorded their quota
+    assert h.stats[0].instructions >= 300
+    assert h.stats[1].instructions >= 300
+    # the fast core executed far beyond its quota in wall-clock
+    assert engine.cores[0].instructions > 2 * engine.cores[0].quota

@@ -1,0 +1,56 @@
+"""Every example script runs end to end (smoke level, reduced sizes).
+
+Examples are executed in-process with a patched ExperimentRunner so the
+smoke test stays fast; the full-size behaviour is covered by the
+benchmark harness.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+import repro.experiments.runner as runner_mod
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture()
+def fast_runner(monkeypatch):
+    original = runner_mod.ExperimentRunner
+
+    class FastRunner(original):
+        def __init__(self, *args, **kwargs):
+            kwargs.setdefault("quota", 6_000)
+            kwargs.setdefault("warmup", 4_000)
+            super().__init__(*args, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "ExperimentRunner", FastRunner)
+    monkeypatch.setattr("repro.ExperimentRunner", FastRunner)
+    return FastRunner
+
+
+def run_example(name):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart(fast_runner, capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "avgcc" in out and "weighted speedup" in out
+
+
+def test_granularity_study(fast_runner, capsys):
+    run_example("granularity_study.py")
+    assert "avgcc" in capsys.readouterr().out
+
+
+def test_custom_policy(fast_runner, capsys):
+    run_example("custom_policy.py")
+    out = capsys.readouterr().out
+    assert "round-robin" in out
+
+
+def test_qos_study(fast_runner, capsys):
+    run_example("qos_study.py")
+    assert "qos-avgcc" in capsys.readouterr().out

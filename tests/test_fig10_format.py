@@ -1,0 +1,21 @@
+"""Figure 10 result structure."""
+
+from repro.metrics.latency import LatencyBreakdown
+
+
+def test_breakdown_improvement_sign():
+    b = LatencyBreakdown(
+        scheme="x", workload="w", normalized_aml=0.78,
+        local_fraction=0.8, remote_fraction=0.1, memory_fraction=0.1,
+    )
+    import pytest
+
+    assert b.improvement == pytest.approx(0.22)
+
+
+def test_breakdown_worse_than_baseline():
+    b = LatencyBreakdown(
+        scheme="x", workload="w", normalized_aml=1.1,
+        local_fraction=0.7, remote_fraction=0.2, memory_fraction=0.1,
+    )
+    assert b.improvement < 0

@@ -1,0 +1,68 @@
+"""Mini-fuzzer: random access sequences never break system invariants.
+
+Property-based end-to-end check: for arbitrary interleavings of reads and
+writes from multiple cores over a small address space, every policy keeps
+the directory consistent, MESI exclusivity intact and L1 inclusion valid.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.policies.registry import make_policy
+from repro.sim.config import SystemConfig
+from repro.sim.system import PrivateHierarchy
+
+SCHEMES = ["baseline", "cc", "dsr", "dsr+dip", "ecc", "ascc", "ascc-2s", "avgcc", "qos-avgcc"]
+
+access_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),    # core
+        st.integers(min_value=0, max_value=63),   # line address
+        st.booleans(),                            # write?
+    ),
+    max_size=250,
+)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@settings(max_examples=20, deadline=None)
+@given(accesses=access_lists)
+def test_invariants_under_random_traffic(scheme, accesses):
+    cfg = SystemConfig(
+        num_cores=3,
+        l2_geometry=CacheGeometry(4 * 2 * 32, 2, 32),
+        l1_geometry=CacheGeometry(2 * 32, 1, 32),
+        quota=100,
+        tick_interval=64,
+    )
+    h = PrivateHierarchy(cfg, make_policy(scheme))
+    for core, line, is_write in accesses:
+        h.access(core, line, is_write, pc=0)
+    h.check_invariants()
+
+
+@pytest.mark.parametrize("scheme", ["ascc", "dsr"])
+@settings(max_examples=10, deadline=None)
+@given(accesses=access_lists)
+def test_l1_path_consistency(scheme, accesses):
+    """Interleaving L1 hits (write-through) with L2 traffic stays sound."""
+    cfg = SystemConfig(
+        num_cores=2,
+        l2_geometry=CacheGeometry(4 * 2 * 32, 2, 32),
+        l1_geometry=CacheGeometry(2 * 32, 1, 32),
+        quota=100,
+        tick_interval=64,
+    )
+    h = PrivateHierarchy(cfg, make_policy(scheme))
+    for core, line, is_write in accesses:
+        core %= 2
+        l1 = h.l1s[core]
+        if l1.access(line):
+            if is_write:
+                h.write_through(core, line)
+        else:
+            h.access(core, line, is_write, pc=0)
+            if h.l2s[core].contains(line):
+                l1.allocate(line)
+    h.check_invariants()

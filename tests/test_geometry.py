@@ -1,0 +1,71 @@
+"""Unit and property tests for CacheGeometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.geometry import CacheGeometry
+
+
+def test_paper_l2_shape():
+    geo = CacheGeometry(1024 * 1024, 8, 32)
+    assert geo.sets == 4096
+    assert geo.lines == 32768
+    assert geo.offset_bits == 5
+    assert geo.index_bits == 12
+
+
+def test_tag_bits_match_table5():
+    geo = CacheGeometry(1024 * 1024, 8, 32)
+    assert geo.tag_bits(42) == 25
+
+
+def test_line_addr_and_set_index():
+    geo = CacheGeometry(4 * 2 * 32, 2, 32)  # 4 sets, 2 ways
+    assert geo.line_addr(0) == 0
+    assert geo.line_addr(31) == 0
+    assert geo.line_addr(32) == 1
+    assert geo.set_index(5) == 1
+    assert geo.set_index(4) == 0
+    assert geo.tag(5) == 1
+
+
+def test_with_ways_keeps_sets():
+    geo = CacheGeometry(2 * 1024 * 1024, 16, 32)
+    restricted = geo.with_ways(6)
+    assert restricted.sets == geo.sets
+    assert restricted.ways == 6
+
+
+def test_fully_associative_single_set():
+    geo = CacheGeometry(1024, 2, 32)
+    fa = geo.fully_associative()
+    assert fa.sets == 1
+    assert fa.ways == geo.lines
+
+
+def test_scaled():
+    geo = CacheGeometry(1024 * 1024, 8, 32)
+    small = geo.scaled(1 / 16)
+    assert small.size_bytes == 64 * 1024
+    assert small.sets == 256
+
+
+@pytest.mark.parametrize(
+    "size,ways,line",
+    [(0, 1, 32), (1024, 0, 32), (1024, 3, 32), (1000, 2, 32), (1024, 2, 24)],
+)
+def test_invalid_geometry_rejected(size, ways, line):
+    with pytest.raises(ValueError):
+        CacheGeometry(size, ways, line)
+
+
+@given(
+    sets_log=st.integers(min_value=0, max_value=12),
+    ways=st.integers(min_value=1, max_value=16),
+    addr=st.integers(min_value=0, max_value=(1 << 42) - 1),
+)
+def test_index_tag_roundtrip(sets_log, ways, addr):
+    geo = CacheGeometry((1 << sets_log) * ways * 32, ways, 32)
+    line = geo.line_addr(addr)
+    assert (geo.tag(line) << geo.index_bits) | geo.set_index(line) == line
+    assert 0 <= geo.set_index(line) < geo.sets

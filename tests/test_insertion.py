@@ -1,0 +1,49 @@
+"""Insertion-policy position semantics, including the bimodal coin."""
+
+from random import Random
+
+from hypothesis import given, strategies as st
+
+from repro.cache.insertion import (
+    DEFAULT_EPSILON,
+    InsertionPolicy,
+    insertion_position,
+)
+
+
+def test_fixed_positions():
+    rng = Random(1)
+    assert insertion_position(InsertionPolicy.MRU, 8, rng) == 0
+    assert insertion_position(InsertionPolicy.LRU, 8, rng) == 7
+    assert insertion_position(InsertionPolicy.LRU_1, 8, rng) == 6
+
+
+def test_bip_mostly_lru():
+    rng = Random(7)
+    positions = [insertion_position(InsertionPolicy.BIP, 8, rng) for _ in range(4000)]
+    mru = positions.count(0)
+    assert positions.count(7) + mru == len(positions)
+    assert 0.5 * DEFAULT_EPSILON < mru / len(positions) < 2.5 * DEFAULT_EPSILON
+
+
+def test_sabip_mostly_lru_minus_one():
+    rng = Random(7)
+    positions = [insertion_position(InsertionPolicy.SABIP, 8, rng) for _ in range(4000)]
+    assert positions.count(6) + positions.count(0) == len(positions)
+    assert positions.count(6) > positions.count(0)
+
+
+def test_single_way_degenerates():
+    rng = Random(0)
+    for policy in InsertionPolicy:
+        assert insertion_position(policy, 1, rng) == 0
+
+
+@given(
+    ways=st.integers(min_value=2, max_value=32),
+    policy=st.sampled_from(list(InsertionPolicy)),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_position_always_in_range(ways, policy, seed):
+    pos = insertion_position(policy, ways, Random(seed))
+    assert 0 <= pos < ways

@@ -1,0 +1,72 @@
+"""End-to-end behavioural checks on realistic (small) simulations."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.policies.registry import make_policy
+from repro.sim.config import default_config
+from repro.sim.engine import Engine
+from repro.sim.system import PrivateHierarchy
+from repro.workloads.mixes import make_workloads
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(quota=150_000, warmup=150_000)
+
+
+def test_cooperation_beats_baseline_on_donor_taker_mix(runner):
+    """The paper's core claim at small scale: a capacity-hungry app paired
+    with a donor gains from ASCC-family management."""
+    for scheme in ("ascc", "avgcc"):
+        out = runner.outcome((471, 444), scheme)
+        assert out.speedup_improvement > 0.02, scheme
+        assert out.result.total_spills > 0
+
+
+def test_streamer_pair_is_neutral(runner):
+    """Two streaming apps can neither donate usefully nor gain."""
+    out = runner.outcome((433, 462), "avgcc")
+    assert abs(out.speedup_improvement) < 0.02
+
+
+def test_avgcc_reduces_offchip_accesses(runner):
+    out = runner.outcome((471, 444), "avgcc")
+    assert out.offchip_reduction > 0.05
+
+
+def test_aml_improves_with_cooperation(runner):
+    out = runner.outcome((471, 444), "avgcc")
+    assert out.aml_improvement > 0.05
+    breakdown = out.latency
+    base = runner.outcome((471, 444), "baseline").latency
+    assert breakdown.memory_fraction < base.memory_fraction
+
+
+def test_invariants_hold_after_full_simulation():
+    cfg = default_config(2, quota=20_000)
+    hierarchy = PrivateHierarchy(cfg, make_policy("avgcc"))
+    Engine(hierarchy, make_workloads((471, 444)), cfg.quota, cfg.seed, 10_000).run()
+    hierarchy.check_invariants()
+
+
+@pytest.mark.parametrize("scheme", ["cc", "dsr", "dsr+dip", "ecc", "ascc-2s", "qos-avgcc"])
+def test_every_scheme_simulates_cleanly(scheme):
+    cfg = default_config(2, quota=6_000)
+    hierarchy = PrivateHierarchy(cfg, make_policy(scheme))
+    Engine(hierarchy, make_workloads((471, 444)), cfg.quota, cfg.seed, 3_000).run()
+    hierarchy.check_invariants()
+    assert all(s.instructions > 0 for s in hierarchy.stats)
+
+
+def test_bit_reproducibility():
+    def run_once():
+        r = ExperimentRunner(quota=10_000, warmup=5_000)
+        out = r.outcome((471, 444), "avgcc")
+        return (
+            out.speedup_improvement,
+            out.result.total_spills,
+            tuple(c.cycles for c in out.result.cores),
+        )
+
+    assert run_once() == run_once()

@@ -1,0 +1,39 @@
+"""Property tests on the traffic model and timing monotonicity."""
+
+from hypothesis import given, strategies as st
+
+from repro.cpu.timing import TimingModel
+from repro.interconnect.bus import BusTraffic
+
+counters = st.integers(min_value=0, max_value=10_000)
+
+
+@given(a=counters, b=counters, c=counters, d=counters)
+def test_flits_monotone_in_traffic(a, b, c, d):
+    low = BusTraffic(remote_hits=a, spills=b, writebacks=c, invalidations=d)
+    high = BusTraffic(
+        remote_hits=a + 1, spills=b + 1, writebacks=c + 1, invalidations=d + 1
+    )
+    assert high.total_flits() > low.total_flits()
+
+
+@given(
+    base_cpi=st.floats(min_value=0.1, max_value=10),
+    mlp=st.floats(min_value=1.0, max_value=16),
+    lat_low=st.floats(min_value=0, max_value=100),
+    extra=st.floats(min_value=0, max_value=400),
+)
+def test_stall_monotone_in_latency(base_cpi, mlp, lat_low, extra):
+    t = TimingModel(base_cpi, mlp)
+    assert t.stall_cycles(lat_low + extra) >= t.stall_cycles(lat_low)
+
+
+@given(
+    base_cpi=st.floats(min_value=0.1, max_value=10),
+    mlp=st.floats(min_value=1.0, max_value=16),
+    apki=st.floats(min_value=0, max_value=400),
+    lat=st.floats(min_value=1, max_value=500),
+)
+def test_expected_cpi_at_least_base(base_cpi, mlp, apki, lat):
+    t = TimingModel(base_cpi, mlp)
+    assert t.expected_cpi(apki, lat) >= base_cpi

@@ -1,0 +1,38 @@
+"""Figure 4 intermediate designs are the right ASCC configurations."""
+
+from repro.cache.insertion import InsertionPolicy
+from repro.core.intermediate import (
+    make_gms,
+    make_gms_sabip,
+    make_lms,
+    make_lms_bip,
+    make_lrs,
+)
+
+
+def test_lrs_random_no_capacity():
+    p = make_lrs()
+    assert p.receiver_selection == "random"
+    assert p.capacity_policy is None
+    assert p.name == "lrs"
+
+
+def test_lms_min_no_capacity():
+    p = make_lms()
+    assert p.receiver_selection == "min"
+    assert p.capacity_policy is None
+
+
+def test_gms_is_global():
+    p = make_gms()
+    assert p._granularity_log2 is None
+
+
+def test_lms_bip_uses_plain_bip():
+    assert make_lms_bip().capacity_policy is InsertionPolicy.BIP
+
+
+def test_gms_sabip_global_with_sabip():
+    p = make_gms_sabip()
+    assert p._granularity_log2 is None
+    assert p.capacity_policy is InsertionPolicy.SABIP

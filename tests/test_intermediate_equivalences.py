@@ -1,0 +1,46 @@
+"""Relationships the Figure 4 breakdown relies on, verified behaviourally."""
+
+from random import Random
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.ascc import make_ascc
+from repro.core.intermediate import make_gms, make_lms, make_lms_bip
+
+
+def attach(policy, caches=2, sets=8, ways=4):
+    policy.attach(caches, CacheGeometry(sets * ways * 32, ways, 32), Random(1))
+    return policy
+
+
+def test_gms_treats_all_sets_identically():
+    p = attach(make_gms())
+    for _ in range(12):
+        p.on_access(0, 0, "miss")
+    roles = {p.role(0, s) for s in range(8)}
+    assert len(roles) == 1  # one counter -> one behaviour for the cache
+
+
+def test_lms_differentiates_sets():
+    p = attach(make_lms())
+    for _ in range(12):
+        p.on_access(0, 0, "miss")
+    assert p.role(0, 0) != p.role(0, 1)
+
+
+def test_ascc_and_lms_share_spill_logic():
+    ascc, lms = attach(make_ascc()), attach(make_lms())
+    for p in (ascc, lms):
+        for _ in range(12):
+            p.on_access(0, 3, "miss")
+        p.on_access(1, 3, "local")
+    assert ascc.should_spill(0, 3) == lms.should_spill(0, 3) is True
+    assert ascc.select_receiver(0, 3) == lms.select_receiver(0, 3) == 1
+
+
+def test_lms_bip_only_differs_in_capacity_policy():
+    from repro.cache.insertion import InsertionPolicy
+
+    lms, bip = attach(make_lms()), attach(make_lms_bip())
+    assert lms.capacity_policy is None
+    assert bip.capacity_policy is InsertionPolicy.BIP
+    assert lms.receiver_selection == bip.receiver_selection == "min"

@@ -1,0 +1,41 @@
+"""L1 filter-cache behaviour."""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.l1 import L1Cache
+
+
+def make_l1(sets=2, ways=2):
+    return L1Cache(CacheGeometry(sets * ways * 32, ways, 32))
+
+
+def test_miss_then_hit():
+    l1 = make_l1()
+    assert not l1.access(0)
+    l1.allocate(0)
+    assert l1.access(0)
+    assert l1.hits == 1 and l1.misses == 1
+
+
+def test_allocate_idempotent():
+    l1 = make_l1()
+    l1.allocate(0)
+    l1.allocate(0)
+    assert len(l1) == 1
+
+
+def test_back_invalidation():
+    l1 = make_l1()
+    l1.allocate(0)
+    assert l1.invalidate(0)
+    assert not l1.invalidate(0)
+    assert l1.back_invalidations == 1
+    assert not l1.access(0)
+
+
+def test_lru_eviction_silent():
+    l1 = make_l1(sets=1, ways=2)
+    l1.allocate(0)
+    l1.allocate(1)
+    l1.allocate(2)  # evicts 0
+    assert not l1.contains(0)
+    assert l1.contains(1) and l1.contains(2)

@@ -1,0 +1,24 @@
+"""Per-line flag semantics used by the spill machinery."""
+
+from repro.cache.cache import Line
+from repro.coherence.protocol import Mesi
+
+
+def test_default_flags():
+    line = Line(0x10, Mesi.EXCLUSIVE)
+    assert not line.spilled
+    assert not line.shared_region
+    assert not line.prefetched
+
+
+def test_flags_are_independent():
+    line = Line(0x10, Mesi.MODIFIED, spilled=True, shared_region=True, prefetched=True)
+    assert line.spilled and line.shared_region and line.prefetched
+    line.prefetched = False
+    assert line.spilled and line.shared_region
+
+
+def test_repr_is_readable():
+    line = Line(0x20, Mesi.SHARED, spilled=True)
+    text = repr(line)
+    assert "0x20" in text and "S" in text

@@ -1,0 +1,72 @@
+"""Weighted speedup, fairness, geomean, latency normalisation."""
+
+import pytest
+
+from repro.metrics.latency import latency_breakdown
+from repro.metrics.speedup import (
+    geometric_mean,
+    harmonic_mean_speedup,
+    improvement,
+    weighted_speedup,
+)
+from repro.sim.results import CoreStats, SystemResult
+
+
+def result_with_ipcs(ipcs):
+    cores = []
+    for i, ipc in enumerate(ipcs):
+        s = CoreStats(core_id=i)
+        s.instructions = 1000
+        s.cycles = 1000 / ipc
+        s.l2_accesses = 10
+        s.l2_local_hits = 10
+        cores.append(s)
+    return SystemResult(scheme="s", workload="w", cores=cores)
+
+
+def test_weighted_speedup():
+    res = result_with_ipcs([1.0, 0.5])
+    assert weighted_speedup(res, [2.0, 1.0]) == pytest.approx(1.0)
+
+
+def test_harmonic_mean_speedup():
+    res = result_with_ipcs([1.0, 1.0])
+    assert harmonic_mean_speedup(res, [2.0, 4.0]) == pytest.approx(
+        2 / (2 / 1 + 4 / 1)
+    )
+
+
+def test_mismatched_lengths_rejected():
+    res = result_with_ipcs([1.0])
+    with pytest.raises(ValueError):
+        weighted_speedup(res, [1.0, 1.0])
+    with pytest.raises(ValueError):
+        harmonic_mean_speedup(res, [0.0])
+
+
+def test_improvement():
+    assert improvement(1.078, 1.0) == pytest.approx(0.078)
+    with pytest.raises(ValueError):
+        improvement(1.0, 0.0)
+
+
+def test_geometric_mean_of_fractions():
+    assert geometric_mean([0.1, 0.1]) == pytest.approx(0.1)
+    assert geometric_mean([0.0]) == 0.0
+    # mixing a gain and a loss
+    value = geometric_mean([0.5, -0.25])
+    assert value == pytest.approx((1.5 * 0.75) ** 0.5 - 1)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([-1.0])
+
+
+def test_latency_breakdown_normalises():
+    base = result_with_ipcs([1.0])
+    better = result_with_ipcs([1.0])
+    better.cores[0].l2_local_hits = 10  # same mix -> ratio 1
+    b = latency_breakdown(better, base)
+    assert b.normalized_aml == pytest.approx(1.0)
+    assert b.improvement == pytest.approx(0.0)
+    assert b.local_fraction == pytest.approx(1.0)

@@ -1,0 +1,48 @@
+"""Multithreaded kernels share data across threads."""
+
+from random import Random
+
+import pytest
+
+from repro.workloads.multithread import KERNELS, kernel, make_threads
+
+
+def test_four_kernels():
+    assert len(KERNELS) == 4
+    with pytest.raises(KeyError):
+        kernel("raytrace")
+
+
+def test_threads_share_the_shared_region():
+    threads = make_threads("lu", 4)
+    shared_lines = []
+    for t in threads:
+        trace = t.trace(Random(0))
+        lines = set()
+        for _ in range(2000):
+            _, _, addr, _ = next(trace)
+            if addr >= 1 << 40:
+                lines.add(addr >> 5)
+        shared_lines.append(lines)
+    common = set.intersection(*shared_lines)
+    assert common  # genuine sharing
+
+
+def test_private_slices_disjoint():
+    threads = make_threads("fft", 2)
+    privates = []
+    for t in threads:
+        trace = t.trace(Random(0))
+        lines = set()
+        for _ in range(2000):
+            _, _, addr, _ = next(trace)
+            if addr < 1 << 40:
+                lines.add(addr >> 32)
+        privates.append(lines)
+    assert not (privates[0] & privates[1])
+
+
+def test_thread_names():
+    threads = make_threads("canneal", 2)
+    assert threads[0].name == "canneal#t0"
+    assert threads[1].name == "canneal#t1"

@@ -1,0 +1,64 @@
+"""Storage-cost model must match the paper's numbers exactly."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    ascc_cost,
+    avgcc_cost,
+    baseline_cost,
+    limited_counter_extra_bytes,
+    qos_avgcc_cost,
+    ssl_counter_bits,
+    table5_rows,
+)
+from repro.cache.geometry import CacheGeometry
+from repro.sim.config import PAPER_L2
+
+
+def test_baseline_is_1144_kb():
+    assert baseline_cost().total_bits / 8192 == pytest.approx(1144.0)
+
+
+def test_avgcc_additional_storage_2560_bytes_plus_abd():
+    avgcc = avgcc_cost()
+    per_set = (ssl_counter_bits(8) + 1) * PAPER_L2.sets
+    assert per_set // 8 == 2560  # "2560B + ~4B"
+    assert (avgcc.extra_bits - per_set) // 8 == 3  # A/B/D ~= 4 bytes
+
+
+def test_avgcc_total_about_1146_kb():
+    total_kb = avgcc_cost().total_bits / 8192
+    assert 1146.0 < total_kb < 1147.0
+
+
+def test_ascc_extra_is_2560_bytes():
+    assert (ascc_cost().extra_bits + 7) // 8 == 2560
+
+
+def test_limited_variants_match_section7():
+    assert limited_counter_extra_bytes(PAPER_L2, 128) == 83
+    assert limited_counter_extra_bytes(PAPER_L2, 2048) == 1284
+
+
+def test_qos_overhead_is_0_35_percent():
+    overhead = qos_avgcc_cost().overhead_versus(baseline_cost())
+    assert overhead == pytest.approx(0.0035, abs=0.0003)
+
+
+def test_ssl_counter_is_4_bits():
+    assert ssl_counter_bits(8) == 4  # range 0..15
+    assert ssl_counter_bits(8, fraction_bits=3) == 7  # QoS 4.3 format
+
+
+def test_table5_rows_structure():
+    rows = table5_rows()
+    items = {r["item"]: r for r in rows}
+    assert items["Tag bits"]["baseline"] == 25
+    assert items["Per-set extra bits"]["avgcc"] == 5
+    assert items["Total (kB)"]["baseline"] == pytest.approx(1144.0)
+
+
+def test_scales_with_geometry():
+    small = CacheGeometry(64 * 1024, 8, 32)
+    overhead = avgcc_cost(small).overhead_versus(baseline_cost(small))
+    assert 0.001 < overhead < 0.004

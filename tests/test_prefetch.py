@@ -1,0 +1,54 @@
+"""Stride prefetcher training and prediction."""
+
+from repro.cpu.prefetch import StridePrefetcher
+from repro.sim.config import PrefetchConfig
+
+
+def make(threshold=2, degree=1, entries=4):
+    return StridePrefetcher(
+        PrefetchConfig(table_entries=entries, degree=degree, confidence_threshold=threshold)
+    )
+
+
+def test_detects_constant_stride():
+    p = make()
+    out = []
+    for i in range(6):
+        out = p.observe(pc=1, line_addr=10 + 3 * i)
+    assert out == [10 + 3 * 5 + 3]
+
+
+def test_degree_extends_prediction():
+    p = make(degree=3)
+    out = []
+    for i in range(6):
+        out = p.observe(pc=1, line_addr=i)
+    assert out == [6, 7, 8]
+
+
+def test_stride_change_resets_confidence():
+    p = make()
+    for i in range(5):
+        p.observe(1, 2 * i)
+    assert p.observe(1, 100) == []  # broken stride
+    assert p.observe(1, 103) == []  # new stride, confidence 0
+    assert p.observe(1, 106) == []  # confidence 1
+    assert p.observe(1, 109) == [112]
+
+
+def test_zero_stride_never_predicts():
+    p = make()
+    for _ in range(10):
+        out = p.observe(1, 42)
+    assert out == []
+
+
+def test_table_eviction_fifo():
+    p = make(entries=2)
+    p.observe(1, 0)
+    p.observe(2, 0)
+    p.observe(3, 0)  # evicts pc 1
+    assert len(p) == 2
+    for i in range(1, 6):
+        out = p.observe(1, 5 * i)  # re-installed, must retrain
+    assert out == [30]

@@ -1,0 +1,38 @@
+"""MESI transition table checks."""
+
+import pytest
+
+from repro.coherence.protocol import Mesi, fill_state, next_state
+
+
+def test_write_hit_dirties():
+    assert next_state(Mesi.EXCLUSIVE, "write_hit") is Mesi.MODIFIED
+    assert next_state(Mesi.SHARED, "write_hit") is Mesi.MODIFIED
+
+
+def test_remote_read_downgrades():
+    assert next_state(Mesi.MODIFIED, "remote_read") is Mesi.SHARED
+    assert next_state(Mesi.EXCLUSIVE, "remote_read") is Mesi.SHARED
+
+
+def test_remote_write_invalidates():
+    for state in (Mesi.MODIFIED, Mesi.EXCLUSIVE, Mesi.SHARED):
+        assert next_state(state, "remote_write") is Mesi.INVALID
+
+
+def test_illegal_transition_raises():
+    with pytest.raises(ValueError):
+        next_state(Mesi.INVALID, "read_hit")
+
+
+def test_dirty_and_valid_flags():
+    assert Mesi.MODIFIED.is_dirty
+    assert not Mesi.SHARED.is_dirty
+    assert not Mesi.INVALID.is_valid
+    assert Mesi.EXCLUSIVE.is_valid
+
+
+def test_fill_state():
+    assert fill_state(is_write=True, others_hold_copy=False) is Mesi.MODIFIED
+    assert fill_state(is_write=False, others_hold_copy=True) is Mesi.SHARED
+    assert fill_state(is_write=False, others_hold_copy=False) is Mesi.EXCLUSIVE

@@ -1,0 +1,30 @@
+"""The package's public surface stays importable and coherent."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_top_level_workflow():
+    runner = repro.ExperimentRunner(quota=4_000, warmup=2_000)
+    outcome = repro.run_mix((444, 445), scheme="baseline", runner=runner)
+    assert isinstance(outcome, repro.MixOutcome)
+    assert outcome.result.workload == "444+445"
+
+
+def test_scheme_and_mix_catalogues():
+    assert "avgcc" in repro.available_schemes()
+    assert len(repro.MIX2) == 14 and len(repro.MIX4) == 6
+    assert repro.mix_name(repro.MIX4[0]) == "445+401+444+456"
+
+
+def test_make_policy_factory():
+    policy = repro.make_policy("ascc")
+    assert policy.name == "ascc"

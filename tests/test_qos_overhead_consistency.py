@@ -1,0 +1,18 @@
+"""Cross-checks between the QoS implementation and its cost model."""
+
+from repro.analysis.overhead import qos_avgcc_cost, ssl_counter_bits
+from repro.core.qos import QOS_FRACTION_BITS
+
+
+def test_fraction_bits_agree_with_cost_model():
+    """The 4.3 fixed-point format in the policy matches the bits the
+    Table 5-style cost model charges for it."""
+    assert QOS_FRACTION_BITS == 3
+    assert ssl_counter_bits(8, QOS_FRACTION_BITS) == 7  # 4.3 format
+
+
+def test_qos_cost_includes_per_cache_counters():
+    cost = qos_avgcc_cost()
+    # 2 bytes of miss counters + 4 bits QoSRatio + 12 bits sampled-set
+    # counter beyond the (wider) per-set structures.
+    assert cost.extra_bits > 4096 * (7 + 1)

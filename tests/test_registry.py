@@ -1,0 +1,33 @@
+"""Scheme registry resolution."""
+
+import pytest
+
+from repro.core.ascc import ASCC
+from repro.core.avgcc import AVGCC
+from repro.core.qos import QoSAVGCC
+from repro.policies.registry import available_schemes, make_policy
+
+
+def test_all_fixed_names_resolve():
+    for name in available_schemes():
+        policy = make_policy(name)
+        assert policy.name == name or name in ("cc",)
+
+
+def test_parameterised_families():
+    ascc64 = make_policy("ascc/64")
+    assert isinstance(ascc64, ASCC)
+    avgcc128 = make_policy("avgcc/128")
+    assert isinstance(avgcc128, AVGCC)
+    assert avgcc128.max_counters == 128
+
+
+def test_qos_scheme():
+    assert isinstance(make_policy("qos-avgcc"), QoSAVGCC)
+
+
+def test_unknown_scheme_raises():
+    with pytest.raises(KeyError):
+        make_policy("nonsense")
+    with pytest.raises(KeyError):
+        make_policy("ascc/xyz")

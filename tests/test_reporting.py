@@ -1,0 +1,21 @@
+"""ASCII rendering helpers."""
+
+from repro.analysis.reporting import format_percent, format_series, format_table
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "long"], [[1, 2.5], ["xx", 3]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "long" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_percent():
+    assert format_percent(0.078) == "+7.8%"
+    assert format_percent(-0.05) == "-5.0%"
+
+
+def test_format_series():
+    out = format_series("F", [("x", 0.1), ("y", -0.02)])
+    assert "x" in out and "+10.00%" in out

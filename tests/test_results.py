@@ -1,0 +1,65 @@
+"""Derived statistics on CoreStats and SystemResult."""
+
+import pytest
+
+from repro.interconnect.bus import LatencyModel
+from repro.sim.results import CoreStats, SystemResult
+
+
+def make_stats(**kw):
+    stats = CoreStats(core_id=0)
+    for k, v in kw.items():
+        setattr(stats, k, v)
+    return stats
+
+
+def test_cpi_ipc():
+    s = make_stats(instructions=1000, cycles=2000.0)
+    assert s.cpi == 2.0
+    assert s.ipc == 0.5
+    assert CoreStats().cpi == 0.0
+
+
+def test_mpki_counts_local_misses():
+    s = make_stats(instructions=10_000, l2_remote_hits=30, l2_memory_fetches=70)
+    assert s.mpki == pytest.approx(10.0)
+    assert s.offchip_mpki == pytest.approx(7.0)
+
+
+def test_offchip_accesses_include_writebacks():
+    s = make_stats(l2_memory_fetches=10, writebacks=5)
+    assert s.offchip_accesses == 15
+
+
+def test_average_memory_latency_sequential():
+    lat = LatencyModel()
+    s = make_stats(l2_accesses=10, l2_local_hits=5, l2_remote_hits=3, l2_memory_fetches=2)
+    expected = (5 * 9 + 3 * 25 + 2 * (25 + 460)) / 10
+    assert s.average_memory_latency(lat) == pytest.approx(expected)
+
+
+def test_access_breakdown_sums_to_one():
+    s = make_stats(l2_accesses=10, l2_local_hits=5, l2_remote_hits=3, l2_memory_fetches=2)
+    bd = s.access_breakdown()
+    assert sum(bd.values()) == pytest.approx(1.0)
+
+
+def test_system_aggregates():
+    cores = [
+        make_stats(instructions=100, cycles=100.0, spills_out=4, hits_on_spilled=2,
+                   l2_accesses=10, l2_local_hits=10),
+        make_stats(instructions=100, cycles=200.0, spills_out=0, hits_on_spilled=2,
+                   l2_accesses=30, l2_remote_hits=30),
+    ]
+    res = SystemResult(scheme="x", workload="w", cores=cores)
+    assert res.num_cores == 2
+    assert res.total_spills == 4
+    assert res.hits_per_spill == 1.0
+    # AML weighted by per-core access counts
+    aml = res.average_memory_latency()
+    assert aml == pytest.approx((10 * 9 + 30 * 25) / 40)
+
+
+def test_hits_per_spill_zero_when_no_spills():
+    res = SystemResult(scheme="x", workload="w", cores=[make_stats()])
+    assert res.hits_per_spill == 0.0

@@ -1,0 +1,46 @@
+"""CoreStats.reset-like semantics and breakdown invariants under load."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.results import CoreStats, SystemResult
+
+small = st.integers(min_value=0, max_value=1000)
+
+
+@given(local=small, remote=small, mem=small)
+def test_breakdown_is_a_distribution(local, remote, mem):
+    s = CoreStats()
+    s.l2_accesses = local + remote + mem
+    s.l2_local_hits, s.l2_remote_hits, s.l2_memory_fetches = local, remote, mem
+    bd = s.access_breakdown()
+    if s.l2_accesses:
+        assert abs(sum(bd.values()) - 1.0) < 1e-9
+    assert all(v >= 0 for v in bd.values())
+
+
+@given(local=small, remote=small, mem=small)
+def test_aml_bounded_by_extremes(local, remote, mem):
+    from repro.interconnect.bus import LatencyModel
+
+    lat = LatencyModel()
+    s = CoreStats()
+    s.l2_accesses = local + remote + mem
+    s.l2_local_hits, s.l2_remote_hits, s.l2_memory_fetches = local, remote, mem
+    aml = s.average_memory_latency(lat)
+    if s.l2_accesses:
+        assert lat.l2_local_hit <= aml <= lat.l2_remote_hit + lat.memory
+    else:
+        assert aml == 0.0
+
+
+@given(values=st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=4))
+def test_system_spill_totals_additive(values):
+    cores = []
+    for i, v in enumerate(values):
+        s = CoreStats(core_id=i)
+        s.spills_out = v
+        s.hits_on_spilled = v * 2
+        cores.append(s)
+    res = SystemResult(scheme="s", workload="w", cores=cores)
+    assert res.total_spills == sum(values)
+    assert res.hits_per_spill == 2.0

@@ -1,0 +1,40 @@
+"""Runner option coverage: prefetch, cache sizes, seeds."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.config import PrefetchConfig
+
+MB = 1024 * 1024
+
+
+def test_prefetch_runner_issues_prefetches():
+    runner = ExperimentRunner(quota=20_000, warmup=10_000, prefetch=PrefetchConfig())
+    result = runner.run((433,), "baseline")  # streaming: easy strides
+    assert result.traffic.prefetch_fills > 0
+    assert sum(c.prefetches_issued for c in result.cores) > 0
+
+
+def test_prefetch_reduces_stream_misses():
+    plain = ExperimentRunner(quota=30_000, warmup=20_000)
+    pref = ExperimentRunner(quota=30_000, warmup=20_000, prefetch=PrefetchConfig(degree=2))
+    mpki_plain = plain.run((462,), "baseline").cores[0].mpki
+    mpki_pref = pref.run((462,), "baseline").cores[0].mpki
+    assert mpki_pref < mpki_plain
+
+
+def test_bigger_cache_changes_geometry():
+    small = ExperimentRunner(quota=5_000, warmup=2_000, l2_paper_bytes=1 * MB)
+    big = ExperimentRunner(quota=5_000, warmup=2_000, l2_paper_bytes=4 * MB)
+    # runs complete and the larger cache absorbs at least as much
+    s = small.run((444,), "baseline").cores[0].mpki
+    b = big.run((444,), "baseline").cores[0].mpki
+    assert b <= s * 1.2
+
+
+def test_different_seed_different_interleaving():
+    a = ExperimentRunner(quota=10_000, warmup=5_000, seed=1)
+    b = ExperimentRunner(quota=10_000, warmup=5_000, seed=2)
+    ra = a.run((471, 444), "avgcc")
+    rb = b.run((471, 444), "avgcc")
+    assert [c.cycles for c in ra.cores] != [c.cycles for c in rb.cores]

@@ -1,0 +1,45 @@
+"""SABIP vs BIP under concurrent spilling: the paper's Section 3.2 story.
+
+A direct unit-level demonstration: with BIP, a freshly inserted line sits
+at the LRU end where an incoming spilled line evicts it before its one
+chance at reuse; with SABIP (insertion at LRU-1), the fresh line survives
+the spill-in.
+"""
+
+from repro.cache.cache import CacheArray, Line
+from repro.cache.geometry import CacheGeometry
+from repro.coherence.protocol import Mesi
+
+
+def build_full_set(ways=4):
+    cache = CacheArray(CacheGeometry(1 * ways * 32, ways, 32))
+    for addr in range(ways):
+        cache.fill(Line(addr, Mesi.EXCLUSIVE), position=0)
+    return cache
+
+
+def test_bip_fresh_line_dies_to_spill_in():
+    cache = build_full_set()
+    # BIP inserts the fresh local line at the LRU position.
+    cache.fill(Line(100, Mesi.EXCLUSIVE), position=3, victim_position=3)
+    assert cache.recency_position(100) == 3
+    # An incoming spilled line (MRU insert, plain-LRU victim) evicts it.
+    victim = cache.fill(Line(200, Mesi.EXCLUSIVE, spilled=True), position=0)
+    assert victim.addr == 100  # the fresh line lost its chance
+
+
+def test_sabip_fresh_line_survives_spill_in():
+    cache = build_full_set()
+    # SABIP inserts the fresh local line one above LRU.
+    cache.fill(Line(100, Mesi.EXCLUSIVE), position=2, victim_position=3)
+    assert cache.recency_position(100) == 2
+    victim = cache.fill(Line(200, Mesi.EXCLUSIVE, spilled=True), position=0)
+    assert victim.addr != 100  # the line below it absorbed the spill
+    assert cache.contains(100)
+
+
+def test_sabip_line_promoted_on_reuse():
+    cache = build_full_set()
+    cache.fill(Line(100, Mesi.EXCLUSIVE), position=2, victim_position=3)
+    cache.lookup(100)  # one reuse promotes it out of danger
+    assert cache.recency_position(100) == 0

@@ -1,0 +1,157 @@
+"""SetStateBank: SSL arithmetic, granularity indexing, modes, decay."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.saturation import SetStateBank
+from repro.core.states import SetRole
+
+
+def test_initial_state_is_receiver():
+    bank = SetStateBank(16, 8)
+    assert bank.value(0) == 0
+    assert bank.role(0) is SetRole.RECEIVER
+
+
+def test_saturates_at_2k_minus_1():
+    bank = SetStateBank(16, 8)
+    for _ in range(100):
+        bank.on_miss(3)
+    assert bank.value(3) == 15
+    assert bank.role(3) is SetRole.SPILLER
+
+
+def test_floors_at_zero():
+    bank = SetStateBank(16, 8)
+    bank.on_miss(0)
+    for _ in range(10):
+        bank.on_hit(0)
+    assert bank.value(0) == 0
+
+
+def test_granularity_indexing_shift():
+    bank = SetStateBank(16, 8, granularity_log2=2)
+    assert bank.counters_in_use == 4
+    bank.on_miss(0)
+    # sets 0..3 share counter 0
+    assert bank.value(3) == 1
+    assert bank.value(4) == 0
+    assert bank.counter_index(7) == 1
+
+
+def test_regrain_resets_to_k_minus_1_and_mru():
+    bank = SetStateBank(16, 8)
+    for _ in range(20):
+        bank.on_miss(0)
+    bank.enter_capacity_mode(0)
+    bank.set_granularity(1)
+    assert bank.value(0) == 7
+    assert not bank.in_capacity_mode(0)
+    assert bank.role(0) is SetRole.RECEIVER  # 7 < 8
+
+
+def test_sticky_spiller_until_below_k():
+    bank = SetStateBank(16, 8)
+    for _ in range(15):
+        bank.on_miss(0)
+    assert bank.is_sticky_spiller(0)
+    for _ in range(7):  # 15 -> 8, still >= K
+        bank.on_hit(0)
+    assert bank.is_sticky_spiller(0)
+    assert bank.role(0) is SetRole.SPILLER
+    bank.on_hit(0)  # 7 < 8 clears stickiness
+    assert not bank.is_sticky_spiller(0)
+
+
+def test_pressure_does_not_set_sticky():
+    bank = SetStateBank(16, 8)
+    for _ in range(30):
+        bank.on_pressure(0)
+    assert bank.value(0) == 15
+    assert not bank.is_sticky_spiller(0)
+
+
+def test_decay_lowers_all_in_use():
+    bank = SetStateBank(16, 8)
+    bank.on_miss(0)
+    bank.on_miss(0)
+    bank.decay()
+    assert bank.value(0) == 1
+    bank.decay()
+    bank.decay()
+    assert bank.value(0) == 0
+
+
+def test_decay_clears_sticky_below_k():
+    bank = SetStateBank(4, 2)  # max = 3, K = 2
+    for _ in range(3):
+        bank.on_miss(0)
+    assert bank.is_sticky_spiller(0)
+    bank.decay()  # 3 -> 2, still >= K
+    assert bank.is_sticky_spiller(0)
+    bank.decay()  # 2 -> 1 < K
+    assert not bank.is_sticky_spiller(0)
+
+
+def test_capacity_mode_per_group():
+    bank = SetStateBank(16, 8, granularity_log2=2)
+    bank.enter_capacity_mode(1)
+    assert bank.in_capacity_mode(3)
+    assert not bank.in_capacity_mode(4)
+    bank.leave_capacity_mode(0)
+    assert not bank.in_capacity_mode(1)
+
+
+def test_fixed_point_miss_increment():
+    bank = SetStateBank(16, 8, fraction_bits=3)
+    bank.set_miss_increment(0.5)
+    bank.on_miss(0)
+    bank.on_miss(0)
+    assert bank.value(0) == 1  # two half-increments
+    bank.set_miss_increment(2.0)  # clamped to 1.0
+    bank.on_miss(0)
+    assert bank.value(0) == 2
+
+
+def test_low_value_and_similar_pairs():
+    bank = SetStateBank(8, 4)
+    assert bank.low_value_count() == 8
+    for _ in range(8):
+        bank.on_miss(0)
+    assert bank.low_value_count() == 7
+    # counter 0 is 7, counter 1 is 0 -> dissimilar pair
+    assert bank.similar_pair_count() == 3
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        SetStateBank(12, 8)
+    with pytest.raises(ValueError):
+        SetStateBank(16, 0)
+    with pytest.raises(ValueError):
+        SetStateBank(16, 8, granularity_log2=5)
+    bank = SetStateBank(16, 8)
+    with pytest.raises(ValueError):
+        bank.set_granularity(9)
+
+
+@settings(max_examples=60)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["hit", "miss", "pressure"]),
+                  st.integers(min_value=0, max_value=15)),
+        max_size=300,
+    ),
+    d=st.integers(min_value=0, max_value=4),
+)
+def test_values_always_in_range(ops, d):
+    bank = SetStateBank(16, 8, granularity_log2=d)
+    for op, s in ops:
+        if op == "hit":
+            bank.on_hit(s)
+        elif op == "miss":
+            bank.on_miss(s)
+        else:
+            bank.on_pressure(s)
+        assert 0 <= bank.value(s) <= 15
+    assert all(0 <= v <= 15 for v in bank.values_in_use())

@@ -1,0 +1,68 @@
+"""Deeper property tests on the SSL bank's granularity semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.saturation import SetStateBank
+
+
+@settings(max_examples=50)
+@given(
+    d=st.integers(min_value=0, max_value=4),
+    set_a=st.integers(min_value=0, max_value=15),
+    set_b=st.integers(min_value=0, max_value=15),
+)
+def test_same_group_shares_counter(d, set_a, set_b):
+    bank = SetStateBank(16, 8, granularity_log2=d)
+    bank.on_miss(set_a)
+    same_group = (set_a >> d) == (set_b >> d)
+    assert (bank.value(set_b) == bank.value(set_a)) == (
+        same_group or bank.value(set_b) == bank.value(set_a)
+    )
+    if same_group:
+        assert bank.value(set_b) == 1
+    else:
+        assert bank.value(set_b) == 0
+
+
+@settings(max_examples=50)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=15)),
+        max_size=200,
+    ),
+)
+def test_counts_consistent_with_values(ops):
+    bank = SetStateBank(16, 8)
+    for is_hit, s in ops:
+        (bank.on_hit if is_hit else bank.on_miss)(s)
+    values = bank.values_in_use()
+    assert bank.low_value_count() == sum(1 for v in values if v < 8)
+
+
+@settings(max_examples=30)
+@given(d1=st.integers(0, 4), d2=st.integers(0, 4))
+def test_regrain_is_idempotent_on_state(d1, d2):
+    bank = SetStateBank(16, 8)
+    for _ in range(9):
+        bank.on_miss(0)
+    bank.set_granularity(d1)
+    bank.set_granularity(d2)
+    assert bank.counters_in_use == 16 >> d2
+    assert all(v == 7 for v in bank.values_in_use())
+    assert not any(
+        bank.capacity_mode_of_counter(c) for c in range(bank.counters_in_use)
+    )
+
+
+@settings(max_examples=50)
+@given(
+    misses=st.integers(min_value=0, max_value=40),
+    decays=st.integers(min_value=0, max_value=40),
+)
+def test_decay_never_underflows(misses, decays):
+    bank = SetStateBank(8, 4)
+    for _ in range(misses):
+        bank.on_miss(0)
+    for _ in range(decays):
+        bank.decay()
+    assert 0 <= bank.value(0) <= 7

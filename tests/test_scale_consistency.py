@@ -1,0 +1,28 @@
+"""Scale invariants that keep the reproduction's ratios honest."""
+
+import pytest
+
+from repro.sim.config import PAPER_L1, PAPER_L2, ScaleModel
+
+
+@pytest.mark.parametrize("scale", [1.0, 0.5, 0.25, 1 / 16, 1 / 64])
+def test_l1_l2_capacity_ratio_preserved(scale):
+    model = ScaleModel(scale=scale)
+    assert model.l2().size_bytes / model.l1().size_bytes == pytest.approx(
+        PAPER_L2.size_bytes / PAPER_L1.size_bytes
+    )
+
+
+@pytest.mark.parametrize("scale", [1.0, 1 / 16])
+def test_associativities_never_scale(scale):
+    model = ScaleModel(scale=scale)
+    assert model.l1().ways == PAPER_L1.ways
+    assert model.l2().ways == PAPER_L2.ways
+
+
+def test_working_set_to_cache_ratio_preserved():
+    paper_ws = 1536 * 1024  # a taker-sized working set
+    model = ScaleModel()
+    ratio_paper = paper_ws / PAPER_L2.size_bytes
+    ratio_scaled = model.bytes(paper_ws) / model.l2().size_bytes
+    assert ratio_scaled == pytest.approx(ratio_paper, rel=0.01)

@@ -1,0 +1,29 @@
+"""The Section 6.1 story at the system level: bank latency vs capacity."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(quota=60_000, warmup=60_000)
+
+
+def test_shared_pools_capacity_but_pays_latency(runner):
+    """The shared LLC removes some off-chip misses (pooled capacity) but
+    every former 9-cycle local hit now costs the bank-average latency."""
+    base = runner.run((471, 444), "baseline")
+    shared = runner.run((471, 444), "shared")
+    assert shared.total_offchip_accesses <= base.total_offchip_accesses
+    assert shared.average_memory_latency() > 0
+
+
+def test_cooperative_beats_shared_at_four_cores(runner):
+    """At 4 cores the interleaved-bank latency (~4x a private hit) makes
+    the shared LLC lose to cooperative private caches (Section 6.1); at
+    2 cores the two models are much closer in this reproduction."""
+    mix = (445, 444, 456, 471)
+    shared = runner.outcome(mix, "shared")
+    avgcc = runner.outcome(mix, "avgcc")
+    assert avgcc.speedup_improvement > shared.speedup_improvement

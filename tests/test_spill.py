@@ -1,0 +1,44 @@
+"""Receiver selection: minimum-SSL and random variants."""
+
+from random import Random
+
+from repro.core.saturation import SetStateBank
+from repro.core.spill import select_min_ssl_receiver, select_random_receiver
+
+
+def banks(values, ways=8, sets=4):
+    out = []
+    for v in values:
+        bank = SetStateBank(sets, ways)
+        for _ in range(v):
+            bank.on_miss(0)
+        out.append(bank)
+    return out
+
+
+def test_min_selects_lowest():
+    bs = banks([15, 3, 1, 5])
+    assert select_min_ssl_receiver(bs, 0, 0, Random(0)) == 2
+
+
+def test_min_excludes_self_and_non_receivers():
+    bs = banks([0, 9, 15, 8])
+    # only cache 0 is a receiver but it is the spiller itself
+    assert select_min_ssl_receiver(bs, 0, 0, Random(0)) is None
+
+
+def test_min_breaks_ties_randomly():
+    bs = banks([15, 2, 2, 2])
+    chosen = {select_min_ssl_receiver(bs, 0, 0, Random(seed)) for seed in range(40)}
+    assert chosen == {1, 2, 3}
+
+
+def test_random_uniform_over_receivers():
+    bs = banks([15, 3, 1, 9])
+    chosen = {select_random_receiver(bs, 0, 0, Random(seed)) for seed in range(60)}
+    assert chosen == {1, 2}
+
+
+def test_random_none_when_no_candidates():
+    bs = banks([15, 15, 15])
+    assert select_random_receiver(bs, 0, 0, Random(0)) is None

@@ -1,0 +1,19 @@
+"""SSL-to-role thresholds."""
+
+from repro.core.states import SetRole, role_for_ssl, role_for_ssl_two_state
+
+
+def test_three_state_bands():
+    k = 8
+    assert role_for_ssl(0, k) is SetRole.RECEIVER
+    assert role_for_ssl(7, k) is SetRole.RECEIVER
+    assert role_for_ssl(8, k) is SetRole.NEUTRAL
+    assert role_for_ssl(14, k) is SetRole.NEUTRAL
+    assert role_for_ssl(15, k) is SetRole.SPILLER
+
+
+def test_two_state_bands():
+    k = 8
+    assert role_for_ssl_two_state(7, k) is SetRole.RECEIVER
+    assert role_for_ssl_two_state(8, k) is SetRole.SPILLER
+    assert role_for_ssl_two_state(15, k) is SetRole.SPILLER

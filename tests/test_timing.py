@@ -1,0 +1,28 @@
+"""Analytic core timing model."""
+
+import pytest
+
+from repro.cpu.timing import TimingModel
+
+
+def test_instruction_cycles():
+    t = TimingModel(base_cpi=0.8, mlp=2.0)
+    assert t.instruction_cycles(10) == pytest.approx(8.0)
+
+
+def test_stall_divided_by_mlp():
+    t = TimingModel(base_cpi=1.0, mlp=4.0)
+    assert t.stall_cycles(460) == pytest.approx(115.0)
+
+
+def test_expected_cpi_closed_form():
+    t = TimingModel(base_cpi=1.0, mlp=2.0)
+    # 50 L2 accesses per kilo-instruction at 100 cycles each
+    assert t.expected_cpi(50, 100) == pytest.approx(1.0 + 50 * 100 / 2000)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TimingModel(base_cpi=0)
+    with pytest.raises(ValueError):
+        TimingModel(base_cpi=1, mlp=0.5)

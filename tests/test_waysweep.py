@@ -1,0 +1,43 @@
+"""Way-sweep machinery and the Figure 2 classification rule."""
+
+from repro.analysis.waysweep import (
+    SweepPoint,
+    classify_sets,
+    run_way_point,
+)
+from repro.sim.config import ScaleModel
+
+
+def make_point(set_misses, instructions=1000, ways=4):
+    return SweepPoint(
+        code=473, ways=ways, full_assoc=False, mpki=0.0, cpi=0.0,
+        set_misses=tuple(set_misses), instructions=instructions,
+    )
+
+
+def test_classification_favored_and_constant():
+    prev = make_point([100, 100, 0, 50], ways=2)
+    cur = make_point([50, 100, 0, 50], ways=4)
+    c = classify_sets(prev, cur)
+    assert c.favored_fraction == 0.25
+    assert c.constant_fraction == 0.75
+
+
+def test_sets_with_no_prior_misses_are_constant():
+    prev = make_point([0, 0])
+    cur = make_point([0, 0])
+    c = classify_sets(prev, cur)
+    assert c.favored_fraction == 0.0
+
+
+def test_run_way_point_smoke():
+    point = run_way_point(444, ways=4, quota=6_000, warmup=2_000)
+    assert point.ways == 4
+    assert point.instructions >= 5_900  # the warmup-crossing step is unrecorded
+    assert len(point.set_misses) == ScaleModel().sweep_l2().sets
+
+
+def test_more_ways_do_not_hurt_sensitive_benchmark():
+    few = run_way_point(473, ways=2, quota=20_000, warmup=10_000)
+    many = run_way_point(473, ways=16, quota=20_000, warmup=10_000)
+    assert many.mpki <= few.mpki
