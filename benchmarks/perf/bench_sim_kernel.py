@@ -1,0 +1,195 @@
+"""Microbenchmark: optimized vs. legacy simulation kernel.
+
+Runs the paper's 4-core AVGCC configuration on the first Table 1 mix twice —
+once with the original list-based cache arrays and ``min``-scan engine loop
+(:mod:`legacy`), once with the current kernel — and reports wall-clock time
+and trace records (accesses) per second for both, plus the speedup.
+
+Before timing anything it asserts that the two kernels produce bit-identical
+statistics (per-core counters and bus traffic), so the benchmark doubles as
+a regression guard: a kernel "optimization" that changes simulated behaviour
+fails here before it can corrupt results.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_sim_kernel.py
+    PYTHONPATH=src python benchmarks/perf/bench_sim_kernel.py --smoke
+
+Writes ``BENCH_sim_kernel.json`` (see ``--output``) with the raw numbers.
+Exits non-zero if counters diverge or the speedup falls below
+``--min-speedup`` (default 2.0; ``--smoke`` lowers it to 1.0 because tiny
+runs are dominated by setup and timer noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import astuple
+from pathlib import Path
+
+if __package__ in (None, ""):  # executed as a script
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import legacy
+else:  # executed as a module (python -m benchmarks.perf.bench_sim_kernel)
+    from benchmarks.perf import legacy
+
+import repro.sim.system as system_mod
+import repro.workloads.spec2006 as spec_mod
+from repro.policies.registry import make_policy
+from repro.sim.config import ScaleModel, default_config
+from repro.sim.engine import Engine
+from repro.sim.system import PrivateHierarchy
+from repro.workloads.mixes import MIX4, make_workloads
+
+SCHEME = "avgcc"
+
+
+def _build_engine(codes, quota, warmup, seed):
+    scale = ScaleModel()
+    workloads = make_workloads(codes, scale)
+    config = default_config(num_cores=len(codes), scale=scale, quota=quota, seed=seed)
+    hierarchy = PrivateHierarchy(config, make_policy(SCHEME))
+    return Engine(hierarchy, workloads, quota, seed, warmup)
+
+
+def _snapshot(hierarchy):
+    """All counters a kernel bug could disturb, as plain tuples."""
+    return {
+        "cores": [astuple(stats) for stats in hierarchy.stats],
+        "traffic": astuple(hierarchy.traffic),
+        "l1": [(l1.hits, l1.misses, l1.back_invalidations) for l1 in hierarchy.l1s],
+    }
+
+
+def _accesses(hierarchy) -> int:
+    """Total trace records processed (raw L1 probes, warmup included)."""
+    return sum(l1.hits + l1.misses for l1 in hierarchy.l1s)
+
+
+#: (module, attribute) -> legacy replacement.  Patched for the whole legacy
+#: build + run (traces restart mid-run, so construction happens during the
+#: run too) and always restored afterwards.
+_LEGACY_PATCHES = [
+    (system_mod, "CacheArray", legacy.LegacyCacheArray),
+    (system_mod, "L1Cache", legacy.LegacyL1Cache),
+    (spec_mod, "MixtureTrace", legacy.LegacyMixtureTrace),
+    (spec_mod, "RandomRegion", legacy.LegacyRandomRegion),
+    (spec_mod, "Dwell", legacy.LegacyDwell),
+]
+
+
+def _run_once(kind, codes, quota, warmup, seed):
+    """One timed simulation; returns (seconds, snapshot, accesses)."""
+    saved = [(mod, name, getattr(mod, name)) for mod, name, _ in _LEGACY_PATCHES]
+    if kind == "legacy":
+        for mod, name, repl in _LEGACY_PATCHES:
+            setattr(mod, name, repl)
+    try:
+        engine = _build_engine(codes, quota, warmup, seed)
+        start = time.perf_counter()
+        if kind == "legacy":
+            legacy.legacy_run(engine)
+        else:
+            engine.run()
+        elapsed = time.perf_counter() - start
+    finally:
+        for mod, name, orig in saved:
+            setattr(mod, name, orig)
+    return elapsed, _snapshot(engine.hierarchy), _accesses(engine.hierarchy)
+
+
+def _run_kernels(codes, quota, warmup, seed, repeats):
+    """Time both kernels with interleaved repeats (best-of-``repeats``).
+
+    Alternating legacy/optimized runs means slow drift in machine speed
+    (frequency scaling, background load) biases both sides equally instead
+    of whichever kernel happened to run last.
+    """
+    results = {}
+    for kind in ("legacy", "optimized"):
+        results[kind] = _run_once(kind, codes, quota, warmup, seed)
+    for _ in range(repeats - 1):
+        for kind in ("legacy", "optimized"):
+            elapsed, snapshot, accesses = _run_once(kind, codes, quota, warmup, seed)
+            if elapsed < results[kind][0]:
+                results[kind] = (elapsed, snapshot, accesses)
+    return results["legacy"], results["optimized"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quota", type=int, default=None, help="default 100000")
+    parser.add_argument("--warmup", type=int, default=None, help="default 50000")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--min-speedup", type=float, default=None, help="default 2.0")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny run for CI: defaults become quota=4000, warmup=2000, "
+        "min-speedup=1.0 (explicit flags still win)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parents[2] / "BENCH_sim_kernel.json",
+    )
+    args = parser.parse_args(argv)
+    defaults = (4_000, 2_000, 1.0) if args.smoke else (100_000, 50_000, 2.0)
+    if args.quota is None:
+        args.quota = defaults[0]
+    if args.warmup is None:
+        args.warmup = defaults[1]
+    if args.min_speedup is None:
+        args.min_speedup = defaults[2]
+
+    codes = MIX4[0]
+    print(f"mix={codes} scheme={SCHEME} quota={args.quota} warmup={args.warmup}")
+
+    (legacy_s, legacy_snap, legacy_acc), (opt_s, opt_snap, opt_acc) = _run_kernels(
+        codes, args.quota, args.warmup, args.seed, args.repeats
+    )
+
+    if legacy_snap != opt_snap:
+        print("FAIL: kernels disagree on simulated statistics", file=sys.stderr)
+        print(f"  legacy:    {legacy_snap}", file=sys.stderr)
+        print(f"  optimized: {opt_snap}", file=sys.stderr)
+        return 1
+    assert legacy_acc == opt_acc  # implied by the snapshot match
+
+    speedup = legacy_s / opt_s
+    report = {
+        "benchmark": "sim_kernel",
+        "mix": list(codes),
+        "scheme": SCHEME,
+        "quota": args.quota,
+        "warmup": args.warmup,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "accesses": opt_acc,
+        "legacy": {"seconds": legacy_s, "accesses_per_sec": legacy_acc / legacy_s},
+        "optimized": {"seconds": opt_s, "accesses_per_sec": opt_acc / opt_s},
+        "speedup": speedup,
+        "counters_identical": True,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"legacy:    {legacy_s:.3f}s  {legacy_acc / legacy_s:>12,.0f} accesses/s")
+    print(f"optimized: {opt_s:.3f}s  {opt_acc / opt_s:>12,.0f} accesses/s")
+    print(f"speedup:   {speedup:.2f}x  (counters identical: yes)")
+    print(f"wrote {args.output}")
+
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

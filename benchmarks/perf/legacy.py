@@ -1,0 +1,332 @@
+"""The pre-optimization simulation kernel, preserved for benchmarking.
+
+``LegacyCacheArray``/``LegacyL1Cache`` are the original list-based recency
+stacks (linear scans on every probe) and ``legacy_run`` is the original
+engine loop (``min`` over all cores per record, per-record attribute
+chasing).  The microbenchmark builds one hierarchy with these classes and
+one with the optimized kernel, runs both over the same workload mix, checks
+that every statistics counter matches bit-for-bit, and reports the
+accesses/second ratio.
+
+Only the storage classes and the scheduling loop are duplicated here; the
+hierarchy, policies and workloads are the live ones, so the comparison
+isolates exactly the kernel rewrite.  ``LegacyCacheArray`` additionally
+exposes ``set_mask`` because the current hierarchy uses it for set
+indexing; ``line_addr & set_mask`` equals ``geometry.set_index(line_addr)``
+so behaviour is unchanged.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Iterator, Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.cache import Line
+from repro.coherence.directory import PresenceDirectory
+from repro.coherence.protocol import Mesi
+from repro.workloads.generators import LINE, AddressComponent
+
+
+class LegacyCacheArray:
+    """Original set-associative cache: per-set ``list`` recency stacks."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        cache_id: int = 0,
+        directory: Optional[PresenceDirectory] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.cache_id = cache_id
+        self.directory = directory
+        self.set_mask = geometry.sets - 1
+        self.sets: list[list[Line]] = [[] for _ in range(geometry.sets)]
+        self._index: dict[int, int] = {}  # line addr -> set index (fast probe)
+
+    def lookup(self, line_addr: int, promote: bool = True) -> Optional[Line]:
+        if line_addr not in self._index:
+            return None
+        lines = self.sets[self.geometry.set_index(line_addr)]
+        for pos, line in enumerate(lines):
+            if line.addr == line_addr:
+                if promote and pos != 0:
+                    del lines[pos]
+                    lines.insert(0, line)
+                return line
+        raise AssertionError("index/set desync")  # pragma: no cover
+
+    def probe(self, line_addr: int) -> Optional[Line]:
+        return self.lookup(line_addr, promote=False)
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._index
+
+    def recency_position(self, line_addr: int) -> Optional[int]:
+        if line_addr not in self._index:
+            return None
+        lines = self.sets[self.geometry.set_index(line_addr)]
+        for pos, line in enumerate(lines):
+            if line.addr == line_addr:
+                return pos
+        raise AssertionError("index/set desync")  # pragma: no cover
+
+    def fill(
+        self,
+        line: Line,
+        position: int,
+        victim_position: Optional[int] = None,
+    ) -> Optional[Line]:
+        if line.addr in self._index:
+            raise ValueError(f"line {line.addr:#x} already present")
+        set_idx = self.geometry.set_index(line.addr)
+        lines = self.sets[set_idx]
+        victim: Optional[Line] = None
+        if len(lines) >= self.geometry.ways:
+            if victim_position is None:
+                victim_position = len(lines) - 1
+            victim = lines.pop(victim_position)
+            self._drop(victim)
+        position = min(position, len(lines))
+        lines.insert(position, line)
+        self._index[line.addr] = set_idx
+        if self.directory is not None:
+            self.directory.add(line.addr, self.cache_id)
+        return victim
+
+    def evict(self, line_addr: int) -> Line:
+        return self._remove(line_addr)
+
+    def invalidate(self, line_addr: int) -> Optional[Line]:
+        if line_addr not in self._index:
+            return None
+        return self._remove(line_addr)
+
+    def victim_candidate(
+        self, set_idx: int, position: Optional[int] = None
+    ) -> Optional[Line]:
+        lines = self.sets[set_idx]
+        if len(lines) < self.geometry.ways:
+            return None
+        return lines[position if position is not None else len(lines) - 1]
+
+    def set_lines(self, set_idx: int) -> list[Line]:
+        return self.sets[set_idx]
+
+    def occupancy(self, set_idx: int) -> int:
+        return len(self.sets[set_idx])
+
+    def iter_lines(self) -> Iterator[Line]:
+        for lines in self.sets:
+            yield from lines
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def _remove(self, line_addr: int) -> Line:
+        set_idx = self._index.get(line_addr)
+        if set_idx is None:
+            raise KeyError(f"line {line_addr:#x} not present")
+        lines = self.sets[set_idx]
+        for pos, line in enumerate(lines):
+            if line.addr == line_addr:
+                del lines[pos]
+                self._drop(line)
+                return line
+        raise AssertionError("index/set desync")  # pragma: no cover
+
+    def _drop(self, line: Line) -> None:
+        del self._index[line.addr]
+        if self.directory is not None:
+            self.directory.remove(line.addr, self.cache_id)
+
+
+class LegacyL1Cache:
+    """Original L1 filter cache built on :class:`LegacyCacheArray`."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self._array = LegacyCacheArray(geometry)
+        self.hits = 0
+        self.misses = 0
+        self.back_invalidations = 0
+
+    @property
+    def geometry(self) -> CacheGeometry:
+        return self._array.geometry
+
+    def access(self, line_addr: int) -> bool:
+        if self._array.lookup(line_addr) is not None:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def allocate(self, line_addr: int) -> None:
+        if self._array.contains(line_addr):
+            return
+        self._array.fill(Line(line_addr, Mesi.EXCLUSIVE), position=0)
+
+    def invalidate(self, line_addr: int) -> bool:
+        line = self._array.invalidate(line_addr)
+        if line is not None:
+            self.back_invalidations += 1
+            return True
+        return False
+
+    def contains(self, line_addr: int) -> bool:
+        return self._array.contains(line_addr)
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+
+class LegacyRandomRegion(AddressComponent):
+    """Original uniform-random component: ``randrange`` per access."""
+
+    def __init__(self, base: int, region_bytes: int, pc: int, rng: Random) -> None:
+        if region_bytes < LINE:
+            raise ValueError("region smaller than one line")
+        self.base = base
+        self.lines = region_bytes // LINE
+        self.pc = pc
+        self.rng = rng
+
+    def next_access(self) -> tuple[int, int]:
+        return self.pc, self.base + self.rng.randrange(self.lines) * LINE
+
+
+class LegacyDwell(AddressComponent):
+    """Original dwell wrapper: attribute chasing on every access."""
+
+    def __init__(self, inner: AddressComponent, count: int) -> None:
+        if count < 1:
+            raise ValueError("dwell count must be at least 1")
+        self.inner = inner
+        self.count = count
+        self._remaining = 0
+        self._current: tuple[int, int] = (0, 0)
+
+    def next_access(self) -> tuple[int, int]:
+        if self._remaining == 0:
+            self._current = self.inner.next_access()
+            self._remaining = self.count
+        self._remaining -= 1
+        return self._current
+
+
+class LegacyMixtureTrace:
+    """Original mixture trace: linear cumulative-weight scan, ``randrange``
+    gap draws, per-record method resolution."""
+
+    def __init__(
+        self,
+        components: list[tuple[float, AddressComponent]],
+        rng: Random,
+        gap_min: int,
+        gap_max: int,
+        write_fraction: float,
+    ) -> None:
+        if not components:
+            raise ValueError("mixture needs at least one component")
+        total = sum(w for w, _ in components)
+        if total <= 0:
+            raise ValueError("component weights must be positive")
+        self._cum: list[float] = []
+        self._parts: list[AddressComponent] = []
+        acc = 0.0
+        for weight, comp in components:
+            acc += weight / total
+            self._cum.append(acc)
+            self._parts.append(comp)
+        self._cum[-1] = 1.0
+        self.rng = rng
+        self.gap_min = gap_min
+        self.gap_max = gap_max
+        self.write_fraction = write_fraction
+
+    def __iter__(self):
+        rng = self.rng
+        cum = self._cum
+        parts = self._parts
+        gap_min, gap_span = self.gap_min, self.gap_max - self.gap_min
+        wfrac = self.write_fraction
+        single = parts[0] if len(parts) == 1 else None
+        while True:
+            if single is not None:
+                comp = single
+            else:
+                r = rng.random()
+                for i, edge in enumerate(cum):
+                    if r <= edge:
+                        comp = parts[i]
+                        break
+            pc, addr = comp.next_access()
+            gap = gap_min + (rng.randrange(gap_span + 1) if gap_span else 0)
+            is_write = rng.random() < wfrac
+            yield gap, pc, addr, is_write
+
+
+def _cycles_of(core) -> float:
+    return core.cycles
+
+
+def legacy_run(engine) -> None:
+    """The original per-record loop, applied to a built :class:`Engine`.
+
+    Scans all cores with ``min`` for every record, pulls records one at a
+    time from the trace generators, and re-resolves timing/stats attributes
+    per record — the cost profile the optimized ``Engine.run`` eliminates.
+    Operates on the same ``Engine``/``_CoreRun`` state, so the simulated
+    outcome is identical by construction modulo kernel bugs, which is
+    exactly what the benchmark's counter comparison guards against.
+    """
+    cores = engine.cores
+    hierarchy = engine.hierarchy
+    stats = hierarchy.stats
+    offset_bits = engine._offset_bits
+    remaining = len(cores)
+
+    while remaining:
+        core = min(cores, key=_cycles_of)
+        try:
+            gap, pc, addr, is_write = next(core.trace)
+        except StopIteration:
+            core.trace = iter(core.workload.trace(core.rng))
+            continue
+        committed = gap + 1
+        core.instructions += committed
+        timing = core.workload.timing
+        core.cycles += timing.instruction_cycles(committed)
+
+        core_stats = stats[core.core_id]
+        if core_stats.recording:
+            core_stats.instructions += committed
+
+        line_addr = addr >> offset_bits
+        l1 = hierarchy.l1s[core.core_id]
+        if l1.access(line_addr):
+            if is_write:
+                hierarchy.write_through(core.core_id, line_addr)
+            if core_stats.recording:
+                core_stats.l1_hits += 1
+        else:
+            if core_stats.recording:
+                core_stats.l1_misses += 1
+            latency = hierarchy.access(core.core_id, line_addr, is_write, pc)
+            core.cycles += timing.stall_cycles(latency)
+
+        if core_stats.recording:
+            core_stats.cycles = core.cycles - core.cycle_offset
+        if not core.warmed and core.instructions >= core.warmup:
+            core.warmed = True
+            core.cycle_offset = core.cycles
+            core_stats.recording = True
+            if engine._warming and all(c.warmed for c in cores):
+                engine._warming = False
+                policy = getattr(hierarchy, "policy", None)
+                if policy is not None:
+                    policy.end_warmup()
+        elif not core.done and core.instructions >= core.warmup + core.quota:
+            core.done = True
+            core_stats.recording = False
+            remaining -= 1

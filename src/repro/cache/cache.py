@@ -1,10 +1,13 @@
 """Set-associative cache array with explicit recency stacks.
 
 :class:`CacheArray` is the storage substrate shared by the private L2s, the
-banked shared LLC and the L1 filter caches.  Each set is a list of
-:class:`Line` objects ordered by recency (index 0 = MRU, last = LRU), which
-makes the insertion-position semantics of BIP/SABIP direct: inserting a line
-at position *p* places it *p* steps from the top of the stack.
+banked shared LLC and the L1 filter caches.  Each set is an ordered mapping
+``line addr -> Line`` whose iteration order is the recency stack (first key
+= MRU, last key = LRU), which keeps the insertion-position semantics of
+BIP/SABIP direct — inserting a line at position *p* places it *p* steps from
+the top of the stack — while making the hot operations (hit probe, MRU
+promotion, LRU eviction, targeted removal) O(1) dictionary operations
+instead of linear scans over the set.
 
 When constructed with a :class:`~repro.coherence.directory.PresenceDirectory`
 the array keeps the chip-wide presence map in sync on every fill, eviction
@@ -14,6 +17,8 @@ the actual contents.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from itertools import islice
 from typing import Iterator, Optional
 
 from repro.cache.geometry import CacheGeometry
@@ -83,8 +88,13 @@ class CacheArray:
         self.geometry = geometry
         self.cache_id = cache_id
         self.directory = directory
-        self.sets: list[list[Line]] = [[] for _ in range(geometry.sets)]
-        self._index: dict[int, int] = {}  # line addr -> set index (fast probe)
+        #: ``line_addr & set_mask`` is the set index (sets are a power of two).
+        self.set_mask = geometry.sets - 1
+        self._ways = geometry.ways
+        self._sets: list[OrderedDict[int, Line]] = [
+            OrderedDict() for _ in range(geometry.sets)
+        ]
+        self._len = 0
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -95,33 +105,28 @@ class CacheArray:
 
         Returns the :class:`Line` on a hit, ``None`` on a miss.
         """
-        if line_addr not in self._index:
-            return None
-        lines = self.sets[self.geometry.set_index(line_addr)]
-        for pos, line in enumerate(lines):
-            if line.addr == line_addr:
-                if promote and pos != 0:
-                    del lines[pos]
-                    lines.insert(0, line)
-                return line
-        raise AssertionError("index/set desync")  # pragma: no cover
+        lines = self._sets[line_addr & self.set_mask]
+        line = lines.get(line_addr)
+        if line is not None and promote:
+            lines.move_to_end(line_addr, last=False)
+        return line
 
     def probe(self, line_addr: int) -> Optional[Line]:
         """Find ``line_addr`` without touching recency state."""
-        return self.lookup(line_addr, promote=False)
+        return self._sets[line_addr & self.set_mask].get(line_addr)
 
     def contains(self, line_addr: int) -> bool:
-        return line_addr in self._index
+        return line_addr in self._sets[line_addr & self.set_mask]
 
     def recency_position(self, line_addr: int) -> Optional[int]:
         """Stack position of a line (0 = MRU), or ``None`` if absent."""
-        if line_addr not in self._index:
+        lines = self._sets[line_addr & self.set_mask]
+        if line_addr not in lines:
             return None
-        lines = self.sets[self.geometry.set_index(line_addr)]
-        for pos, line in enumerate(lines):
-            if line.addr == line_addr:
+        for pos, addr in enumerate(lines):
+            if addr == line_addr:
                 return pos
-        raise AssertionError("index/set desync")  # pragma: no cover
+        raise AssertionError("set desync")  # pragma: no cover
 
     # ------------------------------------------------------------------ #
     # Fill / evict / invalidate
@@ -140,80 +145,86 @@ class CacheArray:
         set occupancy so "insert at LRU" works in a partially filled set.
         The line must not already be present.
         """
-        if line.addr in self._index:
-            raise ValueError(f"line {line.addr:#x} already present")
-        set_idx = self.geometry.set_index(line.addr)
-        lines = self.sets[set_idx]
+        addr = line.addr
+        lines = self._sets[addr & self.set_mask]
+        if addr in lines:
+            raise ValueError(f"line {addr:#x} already present")
         victim: Optional[Line] = None
-        if len(lines) >= self.geometry.ways:
-            if victim_position is None:
-                victim_position = len(lines) - 1
-            victim = lines.pop(victim_position)
+        if len(lines) >= self._ways:
+            if victim_position is None or victim_position == len(lines) - 1:
+                victim = lines.popitem()[1]
+            else:
+                victim_addr = next(islice(iter(lines), victim_position, None))
+                victim = lines.pop(victim_addr)
             self._drop(victim)
-        position = min(position, len(lines))
-        lines.insert(position, line)
-        self._index[line.addr] = set_idx
+        occupancy = len(lines)
+        lines[addr] = line  # appended at the LRU end
+        if position <= 0:
+            lines.move_to_end(addr, last=False)
+        elif position < occupancy:
+            # Splice: re-append the keys that must stay behind the new line.
+            move = lines.move_to_end
+            for key in list(islice(iter(lines), position, occupancy)):
+                move(key)
+        self._len += 1
         if self.directory is not None:
-            self.directory.add(line.addr, self.cache_id)
+            self.directory.add(addr, self.cache_id)
         return victim
 
     def evict(self, line_addr: int) -> Line:
         """Remove a specific line (e.g. the swap partner) and return it."""
-        line = self._remove(line_addr)
+        line = self._sets[line_addr & self.set_mask].pop(line_addr, None)
+        if line is None:
+            raise KeyError(f"line {line_addr:#x} not present")
+        self._drop(line)
         return line
 
     def invalidate(self, line_addr: int) -> Optional[Line]:
         """Remove a line if present (coherence invalidation, back-inval)."""
-        if line_addr not in self._index:
+        line = self._sets[line_addr & self.set_mask].pop(line_addr, None)
+        if line is None:
             return None
-        return self._remove(line_addr)
+        self._drop(line)
+        return line
 
     def victim_candidate(self, set_idx: int, position: Optional[int] = None) -> Optional[Line]:
         """Peek at the line that :meth:`fill` would evict (LRU by default).
 
         Returns ``None`` while the set still has free ways.
         """
-        lines = self.sets[set_idx]
-        if len(lines) < self.geometry.ways:
+        lines = self._sets[set_idx]
+        if len(lines) < self._ways:
             return None
-        return lines[position if position is not None else len(lines) - 1]
+        if position is None or position == len(lines) - 1:
+            return lines[next(reversed(lines))]
+        if not 0 <= position < len(lines):
+            raise IndexError(f"victim position {position} out of range")
+        return next(islice(lines.values(), position, None))
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
 
     def set_lines(self, set_idx: int) -> list[Line]:
-        """The recency stack of a set (MRU first).  Do not mutate."""
-        return self.sets[set_idx]
+        """The recency stack of a set (MRU first), as a snapshot list."""
+        return list(self._sets[set_idx].values())
 
     def occupancy(self, set_idx: int) -> int:
-        return len(self.sets[set_idx])
+        return len(self._sets[set_idx])
 
     def iter_lines(self) -> Iterator[Line]:
-        for lines in self.sets:
-            yield from lines
+        for lines in self._sets:
+            yield from lines.values()
 
     def __len__(self) -> int:
         """Number of valid lines currently stored."""
-        return len(self._index)
+        return self._len
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
 
-    def _remove(self, line_addr: int) -> Line:
-        set_idx = self._index.get(line_addr)
-        if set_idx is None:
-            raise KeyError(f"line {line_addr:#x} not present")
-        lines = self.sets[set_idx]
-        for pos, line in enumerate(lines):
-            if line.addr == line_addr:
-                del lines[pos]
-                self._drop(line)
-                return line
-        raise AssertionError("index/set desync")  # pragma: no cover
-
     def _drop(self, line: Line) -> None:
-        del self._index[line.addr]
+        self._len -= 1
         if self.directory is not None:
             self.directory.remove(line.addr, self.cache_id)

@@ -20,6 +20,15 @@ class L1Cache:
 
     def __init__(self, geometry: CacheGeometry) -> None:
         self._array = CacheArray(geometry)
+        # The L1 filters every single trace record, so ``access`` inlines
+        # the array's probe-and-promote against its internal stacks.
+        self._sets = self._array._sets
+        self._mask = self._array.set_mask
+        self._ways = geometry.ways
+        # Per-set MRU line address: consecutive touches of the same line
+        # (the dominant pattern under dwell) hit with one list index and
+        # one compare, skipping the stack update that would be a no-op.
+        self._mru = [-1] * geometry.sets
         self.hits = 0
         self.misses = 0
         self.back_invalidations = 0
@@ -35,7 +44,14 @@ class L1Cache:
         so a store hit only generates L2 write traffic (accounted by the
         caller) and never dirties the L1.
         """
-        if self._array.lookup(line_addr) is not None:
+        set_idx = line_addr & self._mask
+        if self._mru[set_idx] == line_addr:
+            self.hits += 1
+            return True
+        lines = self._sets[set_idx]
+        if line_addr in lines:
+            lines.move_to_end(line_addr, last=False)
+            self._mru[set_idx] = line_addr
             self.hits += 1
             return True
         self.misses += 1
@@ -43,14 +59,29 @@ class L1Cache:
 
     def allocate(self, line_addr: int) -> None:
         """Install a line fetched from the L2 (silent LRU eviction)."""
-        if self._array.contains(line_addr):
+        set_idx = line_addr & self._mask
+        lines = self._sets[set_idx]
+        if line_addr in lines:
             return
-        self._array.fill(Line(line_addr, Mesi.EXCLUSIVE), position=0)
+        # Specialised MRU fill: the L1 has no directory and always inserts
+        # at the top of the stack, so the generic positional path is skipped.
+        if len(lines) >= self._ways:
+            evicted = lines.popitem()[0]
+            if self._mru[set_idx] == evicted:  # only possible when ways == 1
+                self._mru[set_idx] = -1
+        else:
+            self._array._len += 1
+        lines[line_addr] = Line(line_addr, Mesi.EXCLUSIVE)
+        lines.move_to_end(line_addr, last=False)
+        self._mru[set_idx] = line_addr
 
     def invalidate(self, line_addr: int) -> bool:
         """Back-invalidation from the inclusive L2.  Returns True if held."""
         line = self._array.invalidate(line_addr)
         if line is not None:
+            set_idx = line_addr & self._mask
+            if self._mru[set_idx] == line_addr:
+                self._mru[set_idx] = -1
             self.back_invalidations += 1
             return True
         return False

@@ -19,6 +19,10 @@ Commands
 
 ``calibrate``
     Print each benchmark model's measured MPKI/CPI against Table 3.
+
+``run``, ``experiment`` and ``calibrate`` accept ``--jobs N`` (simulate
+independent cells across N worker processes) and ``--cache-dir DIR``
+(content-addressed on-disk result cache reused across invocations).
 """
 
 from __future__ import annotations
@@ -47,7 +51,7 @@ from repro.experiments import (
     tab4_sizes,
     tab5_cost,
 )
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.parallel import make_runner
 from repro.policies.registry import available_schemes
 from repro.workloads.mixes import MIX2, MIX4, mix_name
 
@@ -102,7 +106,14 @@ def _parse_mix(text: str) -> tuple[int, ...]:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     mix = _parse_mix(args.mix)
-    runner = ExperimentRunner(quota=args.quota, warmup=args.warmup, seed=args.seed)
+    runner = make_runner(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        quota=args.quota,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    runner.prewarm([mix], [args.scheme])
     outcome = runner.outcome(mix, args.scheme)
     result = outcome.result
     breakdown = result.access_breakdown()
@@ -131,7 +142,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"unknown experiment {args.name!r}; available: {', '.join(sorted(_EXPERIMENTS))}"
         )
-    result = run(ExperimentRunner()) if needs_runner else run()
+    if needs_runner:
+        result = run(make_runner(jobs=args.jobs, cache_dir=args.cache_dir))
+    elif args.name in ("sec63pf", "tab4"):
+        # These build their own runners (special prefetch / L2-size
+        # parameters); pass the parallelism knobs through instead.
+        result = run(jobs=args.jobs, cache_dir=args.cache_dir)
+    else:
+        result = run()
     print(fmt(result))
     return 0
 
@@ -139,7 +157,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.analysis.calibration import calibrate, format_calibration
 
-    runner = ExperimentRunner(quota=args.quota, warmup=args.warmup)
+    runner = make_runner(
+        jobs=args.jobs, cache_dir=args.cache_dir, quota=args.quota, warmup=args.warmup
+    )
     print(format_calibration(calibrate(runner)))
     return 0
 
@@ -148,6 +168,19 @@ def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the repro CLI."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_parallel_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for independent simulations (default: 1, serial)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            help="directory for the on-disk simulation result cache",
+        )
 
     sub.add_parser("schemes", help="list available schemes").set_defaults(fn=_cmd_schemes)
     sub.add_parser("mixes", help="list the paper's mixes").set_defaults(fn=_cmd_mixes)
@@ -158,15 +191,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--quota", type=int, default=150_000)
     run_p.add_argument("--warmup", type=int, default=150_000)
     run_p.add_argument("--seed", type=int, default=7)
+    add_parallel_flags(run_p)
     run_p.set_defaults(fn=_cmd_run)
 
     exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
     exp_p.add_argument("name", help=", ".join(sorted(_EXPERIMENTS)))
+    add_parallel_flags(exp_p)
     exp_p.set_defaults(fn=_cmd_experiment)
 
     cal_p = sub.add_parser("calibrate", help="compare models against Table 3")
     cal_p.add_argument("--quota", type=int, default=100_000)
     cal_p.add_argument("--warmup", type=int, default=60_000)
+    add_parallel_flags(cal_p)
     cal_p.set_defaults(fn=_cmd_calibrate)
     return parser
 

@@ -59,6 +59,9 @@ def compare(
     """Run the (mix x scheme) matrix for one improvement metric."""
     if metric not in ("speedup", "fairness", "aml", "offchip"):
         raise ValueError(f"unknown metric {metric!r}")
+    # Let parallel runners simulate the whole matrix up front; the serial
+    # runner's prewarm is a no-op and the loop below computes lazily.
+    runner.prewarm(mixes, schemes)
     values: dict[tuple[str, str], float] = {}
     for mix in mixes:
         for scheme in schemes:

@@ -60,6 +60,7 @@ def run(
     runner = runner or ExperimentRunner()
     mixes = mixes if mixes is not None else list(MIX2)
     schemes = schemes if schemes is not None else list(SCHEMES)
+    runner.prewarm(mixes, schemes)
     breakdowns = {}
     for mix in mixes:
         for scheme in schemes:

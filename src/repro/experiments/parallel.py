@@ -1,0 +1,232 @@
+"""Parallel, disk-cached experiment execution.
+
+Every paper figure is a (mix x scheme) matrix of independent simulations:
+each cell depends only on the runner's configuration and its ``(codes,
+scheme)`` pair, never on another cell.  :class:`ParallelRunner` exploits
+that twice:
+
+* **Fan-out** — ``prewarm`` runs the matrix's missing cells across a
+  ``ProcessPoolExecutor`` (``--jobs N`` on the CLI).  Workers rebuild the
+  runner from its primitive parameters and return the finished
+  :class:`~repro.sim.results.SystemResult`; simulations are deterministic
+  functions of those parameters, so the fan-out is bit-identical to the
+  serial path.
+* **Disk cache** — with ``cache_dir`` set, every finished cell is pickled
+  under a content-addressed key (SHA-256 over the runner parameters and
+  the cell coordinates).  Re-running an experiment with the same
+  configuration loads cells instead of simulating them; *any* parameter
+  change (scale, quota, warmup, seed, L2 size, prefetcher, or the cache
+  format version below) changes the key, so stale results can never be
+  served.  Writes go through a temporary file and ``os.replace`` so
+  concurrent runners sharing a cache directory see only complete entries.
+
+With ``jobs=1`` and no ``cache_dir``, behaviour (and results) match the
+plain :class:`~repro.experiments.runner.ExperimentRunner` exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.config import PrefetchConfig, ScaleModel
+from repro.sim.results import SystemResult
+
+#: Bump when the simulation's observable output or the pickle layout
+#: changes; old cache entries then miss instead of poisoning results.
+_FORMAT_VERSION = 1
+
+#: A cache cell: the workload codes and the scheme simulated on them.
+Cell = tuple[tuple[int, ...], str]
+
+
+def runner_fingerprint(runner: ExperimentRunner) -> tuple:
+    """Primitive parameters that fully determine a runner's simulations."""
+    pf = runner.prefetch
+    return (
+        _FORMAT_VERSION,
+        runner.scale.scale,
+        runner.quota,
+        runner.warmup,
+        runner.seed,
+        runner.l2_paper_bytes,
+        None if pf is None else (pf.table_entries, pf.degree, pf.confidence_threshold),
+    )
+
+
+def cell_key(fingerprint: tuple, codes: Sequence[int], scheme: str) -> str:
+    """Content-addressed cache key for one simulation cell."""
+    payload = repr((fingerprint, tuple(codes), scheme))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk pickle store for :class:`SystemResult`, keyed by content.
+
+    Layout: ``<root>/<key[:2]>/<key>.pkl`` (fan-out over 256 subdirectories
+    keeps any one directory small).  Corrupt or unreadable entries are
+    treated as misses, so a killed run can never wedge the cache.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[SystemResult]:
+        try:
+            data = self._path(key).read_bytes()
+        except OSError:
+            return None
+        try:
+            result = pickle.loads(data)
+        except Exception:
+            return None
+        return result if isinstance(result, SystemResult) else None
+
+    def put(self, key: str, result: SystemResult) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.tmp"
+        tmp.write_bytes(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, path)  # atomic: readers see old or new, never partial
+
+
+def _simulate_cell(payload: dict) -> tuple[Cell, SystemResult]:
+    """Worker entry point: rebuild the runner and simulate one cell.
+
+    Module-level (picklable) and parameterised by primitives only, so it
+    works under any multiprocessing start method.
+    """
+    prefetch = payload["prefetch"]
+    runner = ExperimentRunner(
+        scale=ScaleModel(payload["scale"]),
+        quota=payload["quota"],
+        warmup=payload["warmup"],
+        seed=payload["seed"],
+        l2_paper_bytes=payload["l2_paper_bytes"],
+        prefetch=None if prefetch is None else PrefetchConfig(*prefetch),
+    )
+    codes, scheme = tuple(payload["codes"]), payload["scheme"]
+    return (codes, scheme), runner._simulate(codes, scheme)
+
+
+class ParallelRunner(ExperimentRunner):
+    """Experiment runner with process fan-out and an on-disk result cache.
+
+    Drop-in replacement for :class:`ExperimentRunner`: ``run``/``outcome``
+    keep their lazy, serial semantics (plus disk-cache lookups), while
+    ``prewarm`` — called by the experiment drivers before a matrix — bulk
+    simulates whatever is missing, in parallel when ``jobs > 1``.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.jobs = max(1, int(jobs))
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+
+    # ------------------------------------------------------------------ #
+
+    def _key(self, codes: tuple[int, ...], scheme: str) -> str:
+        return cell_key(runner_fingerprint(self), codes, scheme)
+
+    def _payload(self, cell: Cell) -> dict:
+        pf = self.prefetch
+        return {
+            "scale": self.scale.scale,
+            "quota": self.quota,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "l2_paper_bytes": self.l2_paper_bytes,
+            "prefetch": None
+            if pf is None
+            else (pf.table_entries, pf.degree, pf.confidence_threshold),
+            "codes": cell[0],
+            "scheme": cell[1],
+        }
+
+    def _store(self, cell: Cell, result: SystemResult) -> None:
+        self._results[cell] = result
+        if self.cache is not None:
+            self.cache.put(self._key(*cell), result)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, codes: tuple[int, ...], scheme: str) -> SystemResult:
+        cell: Cell = (tuple(codes), scheme)
+        found = self._results.get(cell)
+        if found is not None:
+            return found
+        if self.cache is not None:
+            found = self.cache.get(self._key(*cell))
+            if found is not None:
+                self._results[cell] = found
+                return found
+        result = self._simulate(*cell)
+        self._store(cell, result)
+        return result
+
+    def prewarm(
+        self, mixes: Iterable[Sequence[int]], schemes: Iterable[str]
+    ) -> None:
+        """Simulate the matrix's missing cells, ``jobs`` at a time.
+
+        Besides each (mix, scheme) cell this covers what ``outcome`` will
+        ask for next: the mix's baseline and every member's stand-alone
+        baseline run.
+        """
+        schemes = list(schemes)
+        wanted: dict[Cell, None] = {}  # insertion-ordered set
+        for mix in mixes:
+            codes = tuple(mix)
+            for scheme in schemes:
+                wanted[(codes, scheme)] = None
+            wanted[(codes, "baseline")] = None
+            for code in codes:
+                wanted[((code,), "baseline")] = None
+
+        missing = []
+        for cell in wanted:
+            if cell in self._results:
+                continue
+            if self.cache is not None:
+                found = self.cache.get(self._key(*cell))
+                if found is not None:
+                    self._results[cell] = found
+                    continue
+            missing.append(cell)
+
+        if not missing:
+            return
+        if self.jobs == 1 or len(missing) == 1:
+            for cell in missing:
+                self._store(cell, self._simulate(*cell))
+            return
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(missing))) as pool:
+            for cell, result in pool.map(
+                _simulate_cell, [self._payload(cell) for cell in missing]
+            ):
+                self._store(cell, result)
+
+
+def make_runner(
+    jobs: int = 1,
+    cache_dir: str | os.PathLike | None = None,
+    **kwargs,
+) -> ExperimentRunner:
+    """Build the cheapest runner that honours ``jobs``/``cache_dir``."""
+    if jobs <= 1 and cache_dir is None:
+        return ExperimentRunner(**kwargs)
+    return ParallelRunner(jobs=jobs, cache_dir=cache_dir, **kwargs)

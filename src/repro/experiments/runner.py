@@ -13,7 +13,8 @@ caches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from functools import cached_property
+from typing import Iterable, Optional, Sequence
 
 from repro.metrics.latency import LatencyBreakdown, latency_breakdown
 from repro.metrics.speedup import (
@@ -32,29 +33,37 @@ from repro.workloads.mixes import make_workloads, mix_name
 SHARED_SCHEME = "shared"
 
 
-@dataclass(frozen=True)
+@dataclass
 class MixOutcome:
-    """A scheme's result on one mix, normalised against the baseline."""
+    """A scheme's result on one mix, normalised against the baseline.
+
+    The derived metrics are ``cached_property``s (so the class is not
+    frozen): figures read the same improvement several times — table cell,
+    geomean, formatting — and each evaluation walks every core's counters.
+    The underlying results are never mutated, so caching is safe.
+    """
 
     result: SystemResult
     baseline: SystemResult
     alone_ipcs: tuple[float, ...]
 
-    @property
+    @cached_property
     def speedup_improvement(self) -> float:
         """Weighted-speedup gain over the baseline (0.078 = +7.8 %)."""
-        ws = weighted_speedup(self.result, list(self.alone_ipcs))
-        ws_base = weighted_speedup(self.baseline, list(self.alone_ipcs))
+        alone = list(self.alone_ipcs)
+        ws = weighted_speedup(self.result, alone)
+        ws_base = weighted_speedup(self.baseline, alone)
         return improvement(ws, ws_base)
 
-    @property
+    @cached_property
     def fairness_improvement(self) -> float:
         """Harmonic-mean-of-IPCs gain over the baseline (Figure 9)."""
-        hm = harmonic_mean_speedup(self.result, list(self.alone_ipcs))
-        hm_base = harmonic_mean_speedup(self.baseline, list(self.alone_ipcs))
+        alone = list(self.alone_ipcs)
+        hm = harmonic_mean_speedup(self.result, alone)
+        hm_base = harmonic_mean_speedup(self.baseline, alone)
         return improvement(hm, hm_base)
 
-    @property
+    @cached_property
     def latency(self) -> LatencyBreakdown:
         return latency_breakdown(self.result, self.baseline)
 
@@ -116,9 +125,22 @@ class ExperimentRunner:
     def alone_ipc(self, code: int) -> float:
         """Stand-alone IPC of a benchmark on the baseline machine."""
         if code not in self._alone_ipc:
-            result = self._simulate((code,), "baseline")
+            # Through ``run`` so the result lands in ``_results`` (and in
+            # subclasses' disk caches) instead of being simulated afresh
+            # by every caller that also wants the full stand-alone result.
+            result = self.run((code,), "baseline")
             self._alone_ipc[code] = result.cores[0].ipc
         return self._alone_ipc[code]
+
+    def prewarm(
+        self, mixes: Iterable[Sequence[int]], schemes: Iterable[str]
+    ) -> None:
+        """Hint that a (mix x scheme) matrix is about to be evaluated.
+
+        The serial runner computes cells lazily, so this is a no-op;
+        :class:`repro.experiments.parallel.ParallelRunner` overrides it to
+        fan the missing cells out across worker processes.
+        """
 
     # ------------------------------------------------------------------ #
 

@@ -55,6 +55,7 @@ def run(
     runner = runner or ExperimentRunner()
     mixes = mixes if mixes is not None else all_mixes(num_cores)
     schemes = schemes if schemes is not None else list(SCHEMES)
+    runner.prewarm(mixes, schemes)
     reductions: dict[tuple[str, str], float] = {}
     for mix in mixes:
         baseline = runner.run(tuple(mix), "baseline")

@@ -9,7 +9,7 @@ consumes makes spill savings more valuable.
 from __future__ import annotations
 
 from repro.experiments.comparison import ComparisonResult, compare, format_comparison
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.parallel import make_runner
 from repro.sim.config import PrefetchConfig, ScaleModel
 from repro.workloads.mixes import all_mixes
 
@@ -23,10 +23,17 @@ def run(
     scale: ScaleModel = ScaleModel(),
     quota: int = 150_000,
     warmup: int = 150_000,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> ComparisonResult:
     """Run the prefetcher-sensitivity comparison."""
-    runner = ExperimentRunner(
-        scale=scale, quota=quota, warmup=warmup, prefetch=PrefetchConfig()
+    runner = make_runner(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        scale=scale,
+        quota=quota,
+        warmup=warmup,
+        prefetch=PrefetchConfig(),
     )
     return compare(
         runner,

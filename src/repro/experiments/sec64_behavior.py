@@ -36,8 +36,10 @@ def run(
     """Aggregate spill/swap/hit counters per scheme over the mixes."""
     runner = runner or ExperimentRunner()
     mixes = mixes if mixes is not None else all_mixes(num_cores)
+    schemes = schemes if schemes is not None else list(SCHEMES)
+    runner.prewarm(mixes, schemes)
     rows = []
-    for scheme in schemes if schemes is not None else list(SCHEMES):
+    for scheme in schemes:
         spills = swaps = hits = 0
         for mix in mixes:
             result = runner.run(tuple(mix), scheme)

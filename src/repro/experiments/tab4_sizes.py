@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.analysis.overhead import avgcc_cost, baseline_cost
 from repro.analysis.reporting import format_table
 from repro.cache.geometry import CacheGeometry
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.parallel import make_runner
 from repro.sim.config import PAPER_L2, ScaleModel
 from repro.workloads.mixes import all_mixes
 
@@ -38,6 +38,8 @@ def run(
     scale: ScaleModel = ScaleModel(),
     quota: int = 150_000,
     warmup: int = 150_000,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> list[Table4Row]:
     """Measure the off-chip reduction for each cache size and core count."""
     rows = []
@@ -45,10 +47,16 @@ def run(
         paper_bytes = size_mb * MB
         reductions = {}
         for cores, mixes in ((4, mixes4), (2, mixes2)):
-            runner = ExperimentRunner(
-                scale=scale, quota=quota, warmup=warmup, l2_paper_bytes=paper_bytes
+            runner = make_runner(
+                jobs=jobs,
+                cache_dir=cache_dir,
+                scale=scale,
+                quota=quota,
+                warmup=warmup,
+                l2_paper_bytes=paper_bytes,
             )
             chosen = mixes if mixes is not None else all_mixes(cores)
+            runner.prewarm(chosen, ["avgcc"])
             values = [
                 runner.outcome(tuple(m), "avgcc").offchip_reduction for m in chosen
             ]

@@ -8,7 +8,8 @@ bandwidth-savings arguments of Section 6.3 can be checked.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import ClassVar
 
 
 @dataclass(frozen=True)
@@ -27,9 +28,13 @@ class LatencyModel:
         return round(self.l2_local_hit * max(2, num_cores) * self.shared_llc_factor_per_core)
 
 
-@dataclass
+@dataclass(slots=True)
 class BusTraffic:
-    """Message counters for the broadcast interconnect."""
+    """Message counters for the broadcast interconnect.
+
+    ``slots=True`` because the hierarchy bumps these counters on every L2
+    access in the simulation hot loop.
+    """
 
     local_hits: int = 0
     remote_hits: int = 0
@@ -43,8 +48,8 @@ class BusTraffic:
 
     #: Approximate flit costs per message type (line transfers move data,
     #: control messages do not).  Used for relative bandwidth comparisons.
-    _DATA_COST = 5
-    _CONTROL_COST = 1
+    _DATA_COST: ClassVar[int] = 5
+    _CONTROL_COST: ClassVar[int] = 1
 
     def data_messages(self) -> int:
         return (
@@ -68,6 +73,6 @@ class BusTraffic:
 
     def merged_with(self, other: "BusTraffic") -> "BusTraffic":
         merged = BusTraffic()
-        for name in vars(self):
-            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        for f in fields(self):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
         return merged

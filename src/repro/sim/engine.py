@@ -4,6 +4,13 @@ Cores advance independently through their traces; at each step the engine
 executes the core with the smallest cycle count, so the L2 access streams
 interleave in (simulated) time order and caches genuinely compete.
 
+The scheduler picks that core without scanning: the waiting cores sit in a
+binary heap keyed on ``(cycles, core_id)`` — the same total order (ties go
+to the lowest core id) that a linear ``min`` over the core list produces —
+and the running core keeps executing records while its key stays at or
+below the heap root, so the heap is only touched when the lead actually
+changes hands.  The interleaving is bit-identical to the ``min`` scan.
+
 Following the paper's methodology, each core first warms the caches
 (statistics off), then commits a fixed instruction quota with live
 statistics, and then *keeps running* (its trace restarts if exhausted)
@@ -13,6 +20,8 @@ cache resources".
 
 from __future__ import annotations
 
+from heapq import heapify, heapreplace
+from itertools import islice
 from random import Random
 from typing import Iterator, Protocol, Tuple
 
@@ -35,7 +44,12 @@ class Workload(Protocol):
 
 
 class _CoreRun:
-    """Execution state of one core."""
+    """Execution state of one core.
+
+    ``base_cpi``/``mlp`` mirror ``workload.timing`` and ``stats``/
+    ``l1_access`` mirror the hierarchy's per-core objects, hoisted here once
+    so the per-record loop does no attribute chasing.
+    """
 
     __slots__ = (
         "core_id",
@@ -49,6 +63,12 @@ class _CoreRun:
         "quota",
         "warmed",
         "done",
+        "base_cpi",
+        "mlp",
+        "stats",
+        "l1_access",
+        "buf",
+        "threshold",
     )
 
     def __init__(
@@ -65,6 +85,12 @@ class _CoreRun:
         self.quota = quota
         self.warmed = warmup == 0
         self.done = False
+        self.base_cpi = workload.timing.base_cpi
+        self.mlp = workload.timing.mlp
+        self.buf: Iterator[TraceRecord] = iter(())
+        #: Next instruction count at which a state transition can happen:
+        #: first the end of warmup, then the quota, then never again.
+        self.threshold: float = warmup if warmup else quota
 
 
 class Engine:
@@ -87,6 +113,9 @@ class Engine:
             _CoreRun(i, w, quota, warmup, Random((seed << 8) + i))
             for i, w in enumerate(workloads)
         ]
+        for core in self.cores:
+            core.stats = hierarchy.stats[core.core_id]  # type: ignore[attr-defined]
+            core.l1_access = hierarchy.l1s[core.core_id].access
         self._offset_bits = hierarchy.l1s[0].geometry.offset_bits
         self._warming = warmup > 0
         if warmup:
@@ -100,57 +129,122 @@ class Engine:
         """Execute until every core has committed warmup + quota."""
         cores = self.cores
         hierarchy = self.hierarchy
-        stats = hierarchy.stats  # type: ignore[attr-defined]
+        hierarchy_access = hierarchy.access
+        write_through = hierarchy.write_through
         offset_bits = self._offset_bits
+        l1s = hierarchy.l1s
         remaining = len(cores)
 
-        while remaining:
-            core = min(cores, key=_cycles_of)
-            try:
-                gap, pc, addr, is_write = next(core.trace)
-            except StopIteration:
-                core.trace = iter(core.workload.trace(core.rng))
-                continue
-            committed = gap + 1
-            core.instructions += committed
-            timing = core.workload.timing
-            core.cycles += timing.instruction_cycles(committed)
+        # Scheduler state: the heap holds one (cycles, core_id) entry per
+        # core EXCEPT the one currently executing.  After each record the
+        # current core keeps running while its (cycles, core_id) is still
+        # <= the heap root — the same total order a ``min`` scan over all
+        # cores produces — and the heap is only touched on a switch.  The
+        # hot per-core state (cycles, instruction count, bound methods)
+        # lives in locals for the duration of a run and is written back
+        # when the core is swapped out.
+        core = cores[0]  # all cores start at 0 cycles; the tie goes to id 0
+        heap = [(c.cycles, c.core_id) for c in cores[1:]]
+        heapify(heap)
+        multi = len(cores) > 1
 
-            core_stats = stats[core.core_id]
-            if core_stats.recording:
+        core_id = core.core_id
+        cycles = core.cycles
+        instructions = core.instructions
+        threshold = core.threshold
+        base_cpi = core.base_cpi
+        mlp = core.mlp
+        buf = core.buf
+        l1_access = core.l1_access
+        l1 = l1s[core_id]
+        l1_mru = l1._mru
+        l1_mask = l1._mask
+        core_stats = core.stats
+        recording = core_stats.recording
+
+        while remaining:
+            # Traces are consumed in per-core batches: each core's record
+            # stream depends only on its own RNG and component state, so
+            # draining the generator a chunk at a time yields the same
+            # records while amortising the per-record resume cost.
+            record = next(buf, None)
+            if record is None:
+                chunk = list(islice(core.trace, 1024))
+                if not chunk:  # trace exhausted: restart it, like the paper
+                    core.trace = iter(core.workload.trace(core.rng))
+                    continue
+                buf = core.buf = iter(chunk)
+                record = chunk[0]
+                next(buf)
+            gap, pc, addr, is_write = record
+            committed = gap + 1
+            instructions += committed
+            cycles += committed * base_cpi
+
+            if recording:
                 core_stats.instructions += committed
 
             line_addr = addr >> offset_bits
-            l1 = hierarchy.l1s[core.core_id]
-            if l1.access(line_addr):
+            # Inlined L1 MRU shortcut: most records re-touch the line the
+            # set served last (dwell), where ``L1Cache.access`` would just
+            # count a hit — skip the call and count it here.
+            if l1_mru[line_addr & l1_mask] == line_addr:
+                l1.hits += 1
+                hit = True
+            else:
+                hit = l1_access(line_addr)
+            if hit:
                 if is_write:
-                    hierarchy.write_through(core.core_id, line_addr)
-                if core_stats.recording:
+                    write_through(core_id, line_addr)
+                if recording:
                     core_stats.l1_hits += 1
             else:
-                if core_stats.recording:
+                if recording:
                     core_stats.l1_misses += 1
                 # The hierarchy allocates into the L1 itself (a spilled
                 # line served remotely in place never enters this L1).
-                latency = hierarchy.access(core.core_id, line_addr, is_write, pc)
-                core.cycles += timing.stall_cycles(latency)
+                latency = hierarchy_access(core_id, line_addr, is_write, pc)
+                cycles += latency / mlp
 
-            if core_stats.recording:
-                core_stats.cycles = core.cycles - core.cycle_offset
-            if not core.warmed and core.instructions >= core.warmup:
-                core.warmed = True
-                core.cycle_offset = core.cycles
-                core_stats.recording = True
-                if self._warming and all(c.warmed for c in cores):
-                    self._warming = False
-                    policy = getattr(hierarchy, "policy", None)
-                    if policy is not None:
-                        policy.end_warmup()
-            elif not core.done and core.instructions >= core.warmup + core.quota:
-                core.done = True
-                core_stats.recording = False
-                remaining -= 1
+            if instructions >= threshold:
+                if not core.warmed:
+                    core.warmed = True
+                    core.cycle_offset = cycles
+                    core_stats.recording = recording = True
+                    core.threshold = threshold = core.warmup + core.quota
+                    if self._warming and all(c.warmed for c in cores):
+                        self._warming = False
+                        policy = getattr(hierarchy, "policy", None)
+                        if policy is not None:
+                            policy.end_warmup()
+                elif not core.done:
+                    core.done = True
+                    core_stats.cycles = cycles - core.cycle_offset
+                    core_stats.recording = recording = False
+                    core.threshold = threshold = float("inf")
+                    remaining -= 1
 
+            if multi:
+                entry = (cycles, core_id)
+                root = heap[0]
+                if root < entry:  # another core is now further behind
+                    core.cycles = cycles
+                    core.instructions = instructions
+                    heapreplace(heap, entry)
+                    core = cores[root[1]]
+                    core_id = core.core_id
+                    cycles = core.cycles
+                    instructions = core.instructions
+                    threshold = core.threshold
+                    base_cpi = core.base_cpi
+                    mlp = core.mlp
+                    buf = core.buf
+                    l1_access = core.l1_access
+                    l1 = l1s[core_id]
+                    l1_mru = l1._mru
+                    l1_mask = l1._mask
+                    core_stats = core.stats
+                    recording = core_stats.recording
 
-def _cycles_of(core: _CoreRun) -> float:
-    return core.cycles
+        core.cycles = cycles
+        core.instructions = instructions

@@ -13,9 +13,13 @@ from dataclasses import dataclass, field
 from repro.interconnect.bus import BusTraffic, LatencyModel
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
-    """Events attributed to one core, while its stats are live."""
+    """Events attributed to one core, while its stats are live.
+
+    ``slots=True`` because the simulator increments these counters on every
+    access in the hot loop.
+    """
 
     core_id: int = 0
     recording: bool = True

@@ -79,6 +79,12 @@ class PrivateHierarchy(MemoryHierarchy):
                 StridePrefetcher(config.prefetch) for _ in range(config.num_cores)
             ]
         self._accesses_since_tick = 0
+        self._tick_interval = config.tick_interval
+        self._lat = config.latencies
+        # Per-core bound methods for the hot access path: one list index
+        # instead of two attribute chases plus a method bind per call.
+        self._l2_lookup = [l2.lookup for l2 in self.l2s]
+        self._l1_allocate = [l1.allocate for l1 in self.l1s]
         policy.attach(config.num_cores, config.l2_geometry, Random(config.seed ^ 0x5BD1))
         policy.bind(self)
 
@@ -87,15 +93,21 @@ class PrivateHierarchy(MemoryHierarchy):
     # ------------------------------------------------------------------ #
 
     def access(self, core_id: int, line_addr: int, is_write: bool, pc: int) -> float:
-        lat = self.config.latencies
+        lat = self._lat
         cache = self.l2s[core_id]
         stats = self.stats[core_id]
-        set_idx = cache.geometry.set_index(line_addr)
-        self._bump_tick()
+        set_idx = line_addr & cache.set_mask
+        # Inlined _bump_tick: this runs on every L2 access.
+        ticks = self._accesses_since_tick + 1
+        if ticks >= self._tick_interval:
+            self._accesses_since_tick = 0
+            self.policy.tick()
+        else:
+            self._accesses_since_tick = ticks
         if stats.recording:
             stats.l2_accesses += 1
 
-        line = cache.lookup(line_addr)
+        line = self._l2_lookup[core_id](line_addr)
         if self.prefetchers is not None:
             self._run_prefetcher(core_id, pc, line_addr)
 
@@ -109,7 +121,7 @@ class PrivateHierarchy(MemoryHierarchy):
             line.prefetched = False
             if is_write:
                 self._write_upgrade(core_id, line)
-            self.l1s[core_id].allocate(line_addr)
+            self._l1_allocate[core_id](line_addr)
             return lat.l2_local_hit
 
         # Local miss: snoop the chip (functional broadcast).
@@ -351,7 +363,7 @@ class PrivateHierarchy(MemoryHierarchy):
         for target in self.prefetchers[core_id].observe(pc, line_addr):
             if target < 0 or cache.contains(target) or self.directory.is_on_chip(target):
                 continue
-            set_idx = cache.geometry.set_index(target)
+            set_idx = target & cache.set_mask
             if cache.occupancy(set_idx) >= cache.geometry.ways:
                 victim = cache.victim_candidate(set_idx)
                 assert victim is not None
@@ -368,8 +380,9 @@ class PrivateHierarchy(MemoryHierarchy):
                 stats.prefetches_issued += 1
 
     def _bump_tick(self) -> None:
+        # Kept for callers outside the hot path; ``access`` inlines this.
         self._accesses_since_tick += 1
-        if self._accesses_since_tick >= self.config.tick_interval:
+        if self._accesses_since_tick >= self._tick_interval:
             self._accesses_since_tick = 0
             self.policy.tick()
 

@@ -24,6 +24,7 @@ set-granular schemes from global ones.
 from __future__ import annotations
 
 import abc
+from bisect import bisect_left
 from random import Random
 
 LINE = 32  # byte granularity of the modelled machines
@@ -31,6 +32,8 @@ LINE = 32  # byte granularity of the modelled machines
 
 class AddressComponent(abc.ABC):
     """An infinite generator of (pc, byte address) pairs."""
+
+    __slots__ = ()
 
     @abc.abstractmethod
     def next_access(self) -> tuple[int, int]:
@@ -43,6 +46,8 @@ class SequentialLoop(AddressComponent):
     ``stride_lines > 1`` walks every ``stride_lines``-th line, touching only
     a subset of cache sets while keeping the same footprint per touched set.
     """
+
+    __slots__ = ("base", "lines", "stride", "pc", "_pos")
 
     def __init__(
         self, base: int, ws_bytes: int, pc: int, stride_lines: int = 1
@@ -73,6 +78,8 @@ class PointerChase(AddressComponent):
     spatial predictability removed.
     """
 
+    __slots__ = ("lines", "base", "pc", "_a", "_c", "_x")
+
     def __init__(self, base: int, ws_bytes: int, pc: int) -> None:
         lines = max(4, ws_bytes // LINE)
         # Round up to a power of two so (a*x + c) mod lines has full period
@@ -97,6 +104,8 @@ class Stream(AddressComponent):
     horizon the simulated caches can exploit.
     """
 
+    __slots__ = ("base", "pc", "lines", "_pos")
+
     def __init__(self, base: int, pc: int, region_bytes: int = 256 << 20) -> None:
         self.base = base
         self.pc = pc
@@ -114,6 +123,8 @@ class Stream(AddressComponent):
 class RandomRegion(AddressComponent):
     """Uniform random line accesses over a fixed region."""
 
+    __slots__ = ("base", "lines", "pc", "rng", "_getrandbits", "_bits")
+
     def __init__(self, base: int, region_bytes: int, pc: int, rng: Random) -> None:
         if region_bytes < LINE:
             raise ValueError("region smaller than one line")
@@ -121,9 +132,18 @@ class RandomRegion(AddressComponent):
         self.lines = region_bytes // LINE
         self.pc = pc
         self.rng = rng
+        # Inlined ``randrange(lines)``: the same getrandbits rejection loop
+        # CPython's Random._randbelow runs, minus the wrapper overhead.  The
+        # draw sequence is bit-identical, which golden results rely on.
+        self._getrandbits = rng.getrandbits
+        self._bits = self.lines.bit_length()
 
     def next_access(self) -> tuple[int, int]:
-        return self.pc, self.base + self.rng.randrange(self.lines) * LINE
+        lines = self.lines
+        r = self._getrandbits(self._bits)
+        while r >= lines:
+            r = self._getrandbits(self._bits)
+        return self.pc, self.base + r * LINE
 
 
 class ThrashColumn(AddressComponent):
@@ -149,6 +169,11 @@ class ThrashColumn(AddressComponent):
     per-set depth shrinks proportionally — a fixed-size working set, as in
     reality.
     """
+
+    __slots__ = (
+        "base", "sets_total", "covered_sets", "set_offset", "depth", "pc",
+        "_i", "_row", "_mask",
+    )
 
     _SCRAMBLE = 0x9E3779B1  # odd => bijective multiply mod a power of two
 
@@ -207,19 +232,23 @@ class Dwell(AddressComponent):
     past a warm L1.
     """
 
+    __slots__ = ("inner", "count", "_inner_next", "_remaining", "_current")
+
     def __init__(self, inner: AddressComponent, count: int) -> None:
         if count < 1:
             raise ValueError("dwell count must be at least 1")
         self.inner = inner
         self.count = count
+        self._inner_next = inner.next_access
         self._remaining = 0
         self._current: tuple[int, int] = (0, 0)
 
     def next_access(self) -> tuple[int, int]:
-        if self._remaining == 0:
-            self._current = self.inner.next_access()
-            self._remaining = self.count
-        self._remaining -= 1
+        remaining = self._remaining
+        if remaining == 0:
+            self._current = self._inner_next()
+            remaining = self.count
+        self._remaining = remaining - 1
         return self._current
 
 
@@ -258,22 +287,51 @@ class MixtureTrace:
         self.write_fraction = write_fraction
 
     def __iter__(self):
-        rng = self.rng
+        # Hot loop: every simulated memory access of every core flows
+        # through here.  Bound methods are hoisted, the component draw uses
+        # C bisect over the cumulative weights, and the gap draw inlines
+        # ``randrange(gap_span + 1)`` as the getrandbits rejection loop that
+        # Random._randbelow runs — all three produce streams bit-identical
+        # to the straightforward formulation.
+        #
+        # :class:`Dwell` wrappers are unrolled into per-part repeat state
+        # (seeded from the wrapper, advanced in locals): repeating the
+        # previous access is the dominant record, and this turns it from a
+        # method call into a couple of list indexings.  Components are
+        # built fresh for every ``trace()`` call, so the wrapper object
+        # never needs the state written back.
+        random = self.rng.random
+        getrandbits = self.rng.getrandbits
         cum = self._cum
         parts = self._parts
+        parts_next = [
+            p._inner_next if type(p) is Dwell else p.next_access for p in parts
+        ]
+        counts = [p.count if type(p) is Dwell else 0 for p in parts]
+        remaining = [p._remaining if type(p) is Dwell else 0 for p in parts]
+        current = [p._current if type(p) is Dwell else (0, 0) for p in parts]
         gap_min, gap_span = self.gap_min, self.gap_max - self.gap_min
+        span = gap_span + 1
+        span_bits = span.bit_length()
         wfrac = self.write_fraction
-        single = parts[0] if len(parts) == 1 else None
+        single = len(parts) == 1
         while True:
-            if single is not None:
-                comp = single
+            i = 0 if single else bisect_left(cum, random())
+            count = counts[i]
+            if count:
+                rem = remaining[i]
+                if rem == 0:
+                    current[i] = parts_next[i]()
+                    rem = count
+                remaining[i] = rem - 1
+                pc, addr = current[i]
             else:
-                r = rng.random()
-                for i, edge in enumerate(cum):
-                    if r <= edge:
-                        comp = parts[i]
-                        break
-            pc, addr = comp.next_access()
-            gap = gap_min + (rng.randrange(gap_span + 1) if gap_span else 0)
-            is_write = rng.random() < wfrac
-            yield gap, pc, addr, is_write
+                pc, addr = parts_next[i]()
+            if gap_span:
+                r = getrandbits(span_bits)
+                while r >= span:
+                    r = getrandbits(span_bits)
+                gap = gap_min + r
+            else:
+                gap = gap_min
+            yield gap, pc, addr, random() < wfrac

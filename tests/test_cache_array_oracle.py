@@ -1,0 +1,134 @@
+"""Property test: ordered-dict CacheArray vs a list-based reference model.
+
+The recency stacks were rewritten from lists with linear scans to ordered
+mappings for speed.  This drives both implementations through random
+operation sequences and asserts they stay in lockstep: same hit/miss
+answers, same victims, same recency order in every set, same occupancy.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import CacheArray, Line
+from repro.cache.geometry import CacheGeometry
+from repro.coherence.protocol import Mesi
+
+SETS = 4
+WAYS = 4
+GEOMETRY = CacheGeometry(SETS * WAYS * 64, WAYS, 64)
+
+
+class OracleArray:
+    """The pre-rewrite semantics: per-set Python lists, MRU first."""
+
+    def __init__(self) -> None:
+        self.sets = [[] for _ in range(SETS)]
+        self.mask = SETS - 1
+
+    def lookup(self, addr, promote=True):
+        stack = self.sets[addr & self.mask]
+        for i, line in enumerate(stack):
+            if line.addr == addr:
+                if promote:
+                    stack.insert(0, stack.pop(i))
+                return line
+        return None
+
+    def fill(self, line, position, victim_position=None):
+        stack = self.sets[line.addr & self.mask]
+        victim = None
+        if len(stack) >= WAYS:
+            at = len(stack) - 1 if victim_position is None else victim_position
+            victim = stack.pop(at)
+        stack.insert(min(max(position, 0), len(stack)), line)
+        return victim
+
+    def invalidate(self, addr):
+        stack = self.sets[addr & self.mask]
+        for i, line in enumerate(stack):
+            if line.addr == addr:
+                return stack.pop(i)
+        return None
+
+    def victim_candidate(self, set_idx, position=None):
+        stack = self.sets[set_idx]
+        if len(stack) < WAYS:
+            return None
+        return stack[len(stack) - 1 if position is None else position]
+
+
+addresses = st.integers(min_value=0, max_value=31)
+
+operations = st.one_of(
+    st.tuples(st.just("lookup"), addresses, st.booleans()),
+    st.tuples(
+        st.just("fill"),
+        addresses,
+        st.integers(min_value=0, max_value=WAYS),  # insertion position
+        st.one_of(st.none(), st.integers(min_value=0, max_value=WAYS - 1)),
+    ),
+    st.tuples(st.just("invalidate"), addresses),
+    st.tuples(
+        st.just("victim"),
+        st.integers(min_value=0, max_value=SETS - 1),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=WAYS - 1)),
+    ),
+)
+
+
+def stacks(array: CacheArray) -> list[list[int]]:
+    return [[l.addr for l in array.set_lines(i)] for i in range(SETS)]
+
+
+def oracle_stacks(oracle: OracleArray) -> list[list[int]]:
+    return [[l.addr for l in stack] for stack in oracle.sets]
+
+
+@settings(max_examples=200)
+@given(ops=st.lists(operations, max_size=60))
+def test_lockstep_with_reference_model(ops):
+    array, oracle = CacheArray(GEOMETRY), OracleArray()
+    for op in ops:
+        if op[0] == "lookup":
+            _, addr, promote = op
+            got = array.lookup(addr, promote=promote)
+            want = oracle.lookup(addr, promote=promote)
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert got.addr == want.addr
+        elif op[0] == "fill":
+            _, addr, position, victim_position = op
+            if array.contains(addr):
+                continue  # fill() rejects duplicates; exercised elsewhere
+            # Only pass victim positions that exist in the (possibly
+            # partially filled) set; fill() indexes the current stack.
+            if victim_position is not None and victim_position >= array.occupancy(
+                addr & array.set_mask
+            ):
+                victim_position = None
+            got = array.fill(Line(addr, Mesi.EXCLUSIVE), position, victim_position)
+            want = oracle.fill(Line(addr, Mesi.EXCLUSIVE), position, victim_position)
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert got.addr == want.addr
+        elif op[0] == "invalidate":
+            _, addr = op
+            got, want = array.invalidate(addr), oracle.invalidate(addr)
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert got.addr == want.addr
+        else:  # victim candidate peek
+            _, set_idx, position = op
+            if position is not None and position >= array.occupancy(set_idx):
+                position = None
+            got = array.victim_candidate(set_idx, position)
+            want = oracle.victim_candidate(set_idx, position)
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert got.addr == want.addr
+        # Full-state equivalence after every operation.
+        assert stacks(array) == oracle_stacks(oracle)
+        assert len(array) == sum(len(s) for s in oracle.sets)
+        for set_idx, stack in enumerate(oracle_stacks(oracle)):
+            for pos, addr in enumerate(stack):
+                assert array.recency_position(addr) == pos
+                assert array.probe(addr) is not None

@@ -1,0 +1,121 @@
+"""ParallelRunner: determinism, disk cache, keying, prewarm fan-out.
+
+The acceptance bar for the parallel path is bit-identity: the
+:class:`~repro.sim.results.SystemResult` pickles produced serially, via
+worker processes, and via a warm disk cache must match byte for byte.
+Comparisons happen per result (not on the composite ``MixOutcome``)
+because pickle memoises shared string references differently depending
+on whether sub-objects were created in-process or unpickled from a
+worker — a stream-encoding artefact, not a data difference.
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments.parallel import (
+    ParallelRunner,
+    ResultCache,
+    cell_key,
+    make_runner,
+    runner_fingerprint,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.config import ScaleModel
+
+MIX = (471, 444)
+SCHEME = "ascc"
+PARAMS = dict(scale=ScaleModel(1 / 32), quota=3_000, warmup=1_000, seed=7)
+
+#: Every cell ``prewarm`` should cover for one (mix, scheme) request.
+CELLS = [
+    (MIX, SCHEME),
+    (MIX, "baseline"),
+    ((471,), "baseline"),
+    ((444,), "baseline"),
+]
+
+
+def result_pickles(runner):
+    """Canonical per-cell pickles: the bit-identity yardstick."""
+    return {cell: pickle.dumps(runner.run(*cell)) for cell in CELLS}
+
+
+@pytest.fixture(scope="module")
+def serial_pickles():
+    return result_pickles(ExperimentRunner(**PARAMS))
+
+
+@pytest.fixture(scope="module")
+def warm_cache_dir(tmp_path_factory):
+    """A cache directory populated by a jobs=2 prewarm run."""
+    cache_dir = tmp_path_factory.mktemp("cellcache")
+    runner = ParallelRunner(jobs=2, cache_dir=cache_dir, **PARAMS)
+    runner.prewarm([MIX], [SCHEME])
+    return cache_dir, result_pickles(runner)
+
+
+def test_parallel_matches_serial(serial_pickles, warm_cache_dir):
+    _, parallel_pickles = warm_cache_dir
+    assert parallel_pickles == serial_pickles
+
+
+def test_warm_cache_matches_serial_without_simulating(
+    serial_pickles, warm_cache_dir, monkeypatch
+):
+    cache_dir, _ = warm_cache_dir
+    runner = ParallelRunner(jobs=2, cache_dir=cache_dir, **PARAMS)
+    monkeypatch.setattr(
+        ParallelRunner,
+        "_simulate",
+        lambda *a, **k: pytest.fail("warm cache must not simulate"),
+    )
+    runner.prewarm([MIX], [SCHEME])
+    assert result_pickles(runner) == serial_pickles
+
+
+def test_outcome_metrics_match_serial(warm_cache_dir):
+    cache_dir, _ = warm_cache_dir
+    serial = ExperimentRunner(**PARAMS).outcome(MIX, SCHEME)
+    cached = ParallelRunner(cache_dir=cache_dir, **PARAMS).outcome(MIX, SCHEME)
+    assert cached.alone_ipcs == serial.alone_ipcs
+    assert cached.speedup_improvement == serial.speedup_improvement
+    assert cached.fairness_improvement == serial.fairness_improvement
+
+
+def test_prewarm_covers_baseline_and_alone_cells(warm_cache_dir):
+    cache_dir, _ = warm_cache_dir
+    cache = ResultCache(cache_dir)
+    fingerprint = runner_fingerprint(ExperimentRunner(**PARAMS))
+    for codes, scheme in CELLS:
+        assert cache.get(cell_key(fingerprint, codes, scheme)) is not None
+
+
+def test_any_parameter_change_changes_the_key():
+    base = runner_fingerprint(ExperimentRunner(**PARAMS))
+    key = cell_key(base, MIX, SCHEME)
+    for change in (
+        dict(seed=8),
+        dict(quota=4_000),
+        dict(warmup=2_000),
+        dict(scale=ScaleModel(1 / 16)),
+    ):
+        other = runner_fingerprint(ExperimentRunner(**{**PARAMS, **change}))
+        assert cell_key(other, MIX, SCHEME) != key
+    assert cell_key(base, MIX, "avgcc") != key
+    assert cell_key(base, (444, 471), SCHEME) != key
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cell_key(runner_fingerprint(ExperimentRunner(**PARAMS)), MIX, SCHEME)
+    path = tmp_path / key[:2] / f"{key}.pkl"
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"not a pickle")
+    assert cache.get(key) is None
+
+
+def test_make_runner_picks_cheapest_class(tmp_path):
+    assert type(make_runner()) is ExperimentRunner
+    assert isinstance(make_runner(jobs=2), ParallelRunner)
+    assert isinstance(make_runner(cache_dir=tmp_path), ParallelRunner)
