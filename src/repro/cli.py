@@ -21,8 +21,18 @@ Commands
     Print each benchmark model's measured MPKI/CPI against Table 3.
 
 ``run``, ``experiment`` and ``calibrate`` accept ``--jobs N`` (simulate
-independent cells across N worker processes) and ``--cache-dir DIR``
-(content-addressed on-disk result cache reused across invocations).
+independent cells across N worker processes), ``--cache-dir DIR``
+(content-addressed on-disk result cache reused across invocations),
+``--timeout SECONDS`` (per-cell wall-clock limit; a hung worker is
+killed and the cell retried), ``--retries N`` (bounded retry with
+exponential backoff for crashed/hung/corrupt cells) and ``--report
+PATH`` (write the run's JSON manifest — per-cell status, attempts,
+cache hits vs simulations — there instead of next to the cache).
+An interrupted sweep (``Ctrl-C``/OOM) keeps every completed cell in the
+cache; re-running the same command resumes, simulating only what
+remains.  The hidden ``REPRO_FAULT_PLAN`` environment variable (e.g.
+``"crash=1,hang=1,seed=7"``) injects deterministic worker faults for
+chaos runs; see :mod:`repro.experiments.faults`.
 """
 
 from __future__ import annotations
@@ -52,7 +62,9 @@ from repro.experiments import (
     tab5_cost,
 )
 from repro.experiments.parallel import make_runner
-from repro.policies.registry import available_schemes
+from repro.experiments.runner import SHARED_SCHEME
+from repro.experiments.supervision import SupervisionError
+from repro.policies.registry import available_schemes, make_policy
 from repro.workloads.mixes import MIX2, MIX4, mix_name
 
 #: Experiment name -> (run, format) pair.  Entries taking a runner get one.
@@ -104,11 +116,34 @@ def _parse_mix(text: str) -> tuple[int, ...]:
         raise SystemExit(f"bad mix {text!r}: expected codes like 471+444")
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    mix = _parse_mix(args.mix)
-    runner = make_runner(
+def _validate_scheme(name: str) -> None:
+    """Exit with the available-schemes list instead of a raw KeyError."""
+    if name == SHARED_SCHEME:
+        return
+    try:
+        make_policy(name)
+    except KeyError as exc:
+        # Surface the registry's message (which lists the available
+        # schemes) without the raw-KeyError quoting or traceback.
+        raise SystemExit(str(exc.args[0])) from None
+
+
+def _runner_flags(args: argparse.Namespace) -> dict:
+    """The orchestration knobs every runner-building command shares."""
+    return dict(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+        report_path=args.report,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    mix = _parse_mix(args.mix)
+    _validate_scheme(args.scheme)
+    runner = make_runner(
+        **_runner_flags(args),
         quota=args.quota,
         warmup=args.warmup,
         seed=args.seed,
@@ -143,11 +178,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             f"unknown experiment {args.name!r}; available: {', '.join(sorted(_EXPERIMENTS))}"
         )
     if needs_runner:
-        result = run(make_runner(jobs=args.jobs, cache_dir=args.cache_dir))
+        result = run(make_runner(**_runner_flags(args)))
     elif args.name in ("sec63pf", "tab4"):
         # These build their own runners (special prefetch / L2-size
-        # parameters); pass the parallelism knobs through instead.
-        result = run(jobs=args.jobs, cache_dir=args.cache_dir)
+        # parameters); pass the orchestration knobs through instead.
+        result = run(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
     else:
         result = run()
     print(fmt(result))
@@ -157,11 +197,50 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.analysis.calibration import calibrate, format_calibration
 
-    runner = make_runner(
-        jobs=args.jobs, cache_dir=args.cache_dir, quota=args.quota, warmup=args.warmup
-    )
+    runner = make_runner(**_runner_flags(args), quota=args.quota, warmup=args.warmup)
     print(format_calibration(calibrate(runner)))
     return 0
+
+
+def _positive_int(label: str):
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"{label} must be an integer, got {text!r}")
+        if value <= 0:
+            raise argparse.ArgumentTypeError(f"{label} must be positive, got {value}")
+        return value
+
+    return parse
+
+
+def _nonnegative_int(label: str):
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"{label} must be an integer, got {text!r}")
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                f"{label} must not be negative, got {value}"
+            )
+        return value
+
+    return parse
+
+
+def _positive_float(label: str):
+    def parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"{label} must be a number, got {text!r}")
+        if value <= 0:
+            raise argparse.ArgumentTypeError(f"{label} must be positive, got {value}")
+        return value
+
+    return parse
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -172,7 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     def add_parallel_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--jobs",
-            type=int,
+            type=_positive_int("--jobs"),
             default=1,
             help="worker processes for independent simulations (default: 1, serial)",
         )
@@ -181,6 +260,28 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="directory for the on-disk simulation result cache",
         )
+        p.add_argument(
+            "--timeout",
+            type=_positive_float("--timeout"),
+            default=None,
+            help="per-cell wall-clock limit in seconds; a hung worker is "
+            "killed and the cell retried (default: no limit)",
+        )
+        p.add_argument(
+            "--retries",
+            type=_nonnegative_int("--retries"),
+            default=2,
+            help="retry budget per cell for crashed/hung/corrupt "
+            "simulations, with exponential backoff (default: 2)",
+        )
+        p.add_argument(
+            "--report",
+            default=None,
+            metavar="PATH",
+            help="write the run's JSON manifest (per-cell status, attempts, "
+            "cache hits vs simulations) here; defaults to "
+            "<cache-dir>/run_report.json when --cache-dir is set",
+        )
 
     sub.add_parser("schemes", help="list available schemes").set_defaults(fn=_cmd_schemes)
     sub.add_parser("mixes", help="list the paper's mixes").set_defaults(fn=_cmd_mixes)
@@ -188,9 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="simulate one mix under one scheme")
     run_p.add_argument("--mix", required=True, help="e.g. 471+444")
     run_p.add_argument("--scheme", default="avgcc")
-    run_p.add_argument("--quota", type=int, default=150_000)
-    run_p.add_argument("--warmup", type=int, default=150_000)
-    run_p.add_argument("--seed", type=int, default=7)
+    run_p.add_argument("--quota", type=_positive_int("--quota"), default=150_000)
+    run_p.add_argument("--warmup", type=_nonnegative_int("--warmup"), default=150_000)
+    run_p.add_argument("--seed", type=_nonnegative_int("--seed"), default=7)
     add_parallel_flags(run_p)
     run_p.set_defaults(fn=_cmd_run)
 
@@ -200,8 +301,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.set_defaults(fn=_cmd_experiment)
 
     cal_p = sub.add_parser("calibrate", help="compare models against Table 3")
-    cal_p.add_argument("--quota", type=int, default=100_000)
-    cal_p.add_argument("--warmup", type=int, default=60_000)
+    cal_p.add_argument("--quota", type=_positive_int("--quota"), default=100_000)
+    cal_p.add_argument("--warmup", type=_nonnegative_int("--warmup"), default=60_000)
     add_parallel_flags(cal_p)
     cal_p.set_defaults(fn=_cmd_calibrate)
     return parser
@@ -210,7 +311,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except KeyboardInterrupt:
+        # The supervisor already flushed completed cells and printed the
+        # resumable-state summary; exit with the conventional SIGINT code.
+        print("interrupted", file=sys.stderr)
+        return 130
+    except SupervisionError as exc:
+        # Completed cells are cached; only the listed ones are missing.
+        print(f"error: {exc}", file=sys.stderr)
+        print(exc.report.summary(), file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

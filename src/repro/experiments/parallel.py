@@ -1,9 +1,9 @@
-"""Parallel, disk-cached experiment execution.
+"""Parallel, disk-cached, fault-tolerant experiment execution.
 
 Every paper figure is a (mix x scheme) matrix of independent simulations:
 each cell depends only on the runner's configuration and its ``(codes,
 scheme)`` pair, never on another cell.  :class:`ParallelRunner` exploits
-that twice:
+that three ways:
 
 * **Fan-out** — ``prewarm`` runs the matrix's missing cells across a
   ``ProcessPoolExecutor`` (``--jobs N`` on the CLI).  Workers rebuild the
@@ -17,8 +17,19 @@ that twice:
   configuration loads cells instead of simulating them; *any* parameter
   change (scale, quota, warmup, seed, L2 size, prefetcher, or the cache
   format version below) changes the key, so stale results can never be
-  served.  Writes go through a temporary file and ``os.replace`` so
-  concurrent runners sharing a cache directory see only complete entries.
+  served.  Entries embed a SHA-256 payload checksum verified on read;
+  corrupt or truncated entries are quarantined and recomputed.  Writes
+  go through a temporary file and ``os.replace`` so concurrent runners
+  sharing a cache directory see only complete entries.
+* **Supervision** — the fan-out goes through
+  :class:`~repro.experiments.supervision.Supervisor`: task-level
+  submission (each finished cell is stored and disk-cached immediately),
+  per-cell wall-clock timeouts, bounded retry with exponential backoff,
+  automatic recovery from a broken process pool (respawn, resubmit only
+  the unfinished cells, degrade to in-process execution after repeated
+  deaths), and graceful ``SIGINT`` that flushes completed cells and
+  writes a resumable :class:`~repro.experiments.supervision.RunReport`
+  next to the cache.
 
 With ``jobs=1`` and no ``cache_dir``, behaviour (and results) match the
 plain :class:`~repro.experiments.runner.ExperimentRunner` exactly.
@@ -29,17 +40,20 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+from repro.experiments.faults import FaultPlan, apply_fault, fault_plan_from_env
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.supervision import RunReport, Supervisor
 from repro.sim.config import PrefetchConfig, ScaleModel
 from repro.sim.results import SystemResult
 
-#: Bump when the simulation's observable output or the pickle layout
+#: Bump when the simulation's observable output or the entry layout
 #: changes; old cache entries then miss instead of poisoning results.
-_FORMAT_VERSION = 1
+#: v2: entries carry the ``_MAGIC`` header and an embedded payload
+#: checksum, so pre-checksum (v1) entries miss cleanly via their keys.
+_FORMAT_VERSION = 2
 
 #: A cache cell: the workload codes and the scheme simulated on them.
 Cell = tuple[tuple[int, ...], str]
@@ -69,42 +83,131 @@ class ResultCache:
     """On-disk pickle store for :class:`SystemResult`, keyed by content.
 
     Layout: ``<root>/<key[:2]>/<key>.pkl`` (fan-out over 256 subdirectories
-    keeps any one directory small).  Corrupt or unreadable entries are
-    treated as misses, so a killed run can never wedge the cache.
+    keeps any one directory small).  Each entry is ``magic || sha256(payload)
+    || payload``; ``get`` verifies the checksum before unpickling, so a
+    truncated or bit-flipped entry can never be trusted.  Damaged entries
+    are *quarantined* — moved under ``<root>/_quarantine/`` for post-mortem
+    rather than silently deleted — and treated as misses, so a killed or
+    corrupted run can never wedge the cache.  Init sweeps temporary files
+    stranded by writers that crashed between write and rename.
     """
+
+    #: Entry header; changing the on-disk layout changes this magic (and
+    #: ``_FORMAT_VERSION``, which keys every entry).
+    MAGIC = b"RPC2"
+
+    #: Directory (under the root) quarantined entries are moved into.
+    QUARANTINE = "_quarantine"
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.quarantined = 0
+        self._sweep_stale_tmp()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
-    def get(self, key: str) -> Optional[SystemResult]:
+    def _sweep_stale_tmp(self) -> int:
+        """Remove tmp files whose writer is gone (crashed mid-``put``).
+
+        Tmp names embed the writer's PID; a tmp whose process no longer
+        exists (or whose name does not parse) is stranded and removed.
+        Live writers sharing the cache directory are left alone.
+        """
+        removed = 0
+        for tmp in self.root.glob("*/.*.tmp"):
+            try:
+                pid = int(tmp.name.rsplit(".", 2)[-2])
+            except (ValueError, IndexError):
+                pid = None
+            if pid is not None and pid != os.getpid() and _pid_alive(pid):
+                continue  # a concurrent writer still owns it
+            if pid == os.getpid():
+                continue  # our own in-flight write (put cleans up after itself)
+            try:
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged entry aside instead of trusting or hiding it."""
+        target_dir = self.root / self.QUARANTINE
         try:
-            data = self._path(key).read_bytes()
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            try:  # fall back to deletion: never leave a bad entry servable
+                path.unlink()
+            except OSError:
+                pass
+        self.quarantined += 1
+
+    def get(self, key: str) -> Optional[SystemResult]:
+        path = self._path(key)
+        try:
+            data = path.read_bytes()
         except OSError:
             return None
-        try:
-            result = pickle.loads(data)
-        except Exception:
+        header = len(self.MAGIC) + hashlib.sha256().digest_size
+        if (
+            len(data) < header
+            or not data.startswith(self.MAGIC)
+            or hashlib.sha256(data[header:]).digest()
+            != data[len(self.MAGIC) : header]
+        ):
+            self._quarantine(path)
             return None
-        return result if isinstance(result, SystemResult) else None
+        try:
+            result = pickle.loads(data[header:])
+        except Exception:
+            self._quarantine(path)
+            return None
+        if not isinstance(result, SystemResult):
+            self._quarantine(path)
+            return None
+        return result
 
     def put(self, key: str, result: SystemResult) -> None:
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        entry = self.MAGIC + hashlib.sha256(payload).digest() + payload
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.parent / f".{key}.{os.getpid()}.tmp"
-        tmp.write_bytes(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
-        os.replace(tmp, path)  # atomic: readers see old or new, never partial
+        try:
+            tmp.write_bytes(entry)
+            os.replace(tmp, path)  # atomic: readers see old or new, never partial
+        finally:
+            tmp.unlink(missing_ok=True)  # crash between write and rename
 
 
-def _simulate_cell(payload: dict) -> tuple[Cell, SystemResult]:
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def _simulate_cell(payload: dict) -> tuple[Cell, object]:
     """Worker entry point: rebuild the runner and simulate one cell.
 
     Module-level (picklable) and parameterised by primitives only, so it
-    works under any multiprocessing start method.
+    works under any multiprocessing start method.  An injected fault (see
+    :mod:`repro.experiments.faults`) fires here, before the simulation.
     """
+    codes, scheme = tuple(payload["codes"]), payload["scheme"]
+    fault = payload.get("fault")
+    if fault is not None:
+        injected = apply_fault(fault, in_process=payload.get("fault_in_process", False))
+        if injected is not None:  # a corrupted-result sentinel
+            return (codes, scheme), injected
     prefetch = payload["prefetch"]
     runner = ExperimentRunner(
         scale=ScaleModel(payload["scale"]),
@@ -114,28 +217,44 @@ def _simulate_cell(payload: dict) -> tuple[Cell, SystemResult]:
         l2_paper_bytes=payload["l2_paper_bytes"],
         prefetch=None if prefetch is None else PrefetchConfig(*prefetch),
     )
-    codes, scheme = tuple(payload["codes"]), payload["scheme"]
     return (codes, scheme), runner._simulate(codes, scheme)
 
 
 class ParallelRunner(ExperimentRunner):
-    """Experiment runner with process fan-out and an on-disk result cache.
+    """Experiment runner with supervised fan-out and an on-disk cache.
 
     Drop-in replacement for :class:`ExperimentRunner`: ``run``/``outcome``
     keep their lazy, serial semantics (plus disk-cache lookups), while
     ``prewarm`` — called by the experiment drivers before a matrix — bulk
-    simulates whatever is missing, in parallel when ``jobs > 1``.
+    simulates whatever is missing under a
+    :class:`~repro.experiments.supervision.Supervisor` (timeouts, retries,
+    pool recovery, graceful interruption) and returns the
+    :class:`~repro.experiments.supervision.RunReport`.
     """
 
     def __init__(
         self,
         jobs: int = 1,
         cache_dir: str | os.PathLike | None = None,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.25,
+        fault_plan: Optional[FaultPlan] = None,
+        report_path: str | os.PathLike | None = None,
         **kwargs,
     ) -> None:
         super().__init__(**kwargs)
         self.jobs = max(1, int(jobs))
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.fault_plan = fault_plan
+        if report_path is None and cache_dir is not None:
+            report_path = Path(cache_dir) / "run_report.json"
+        self.report_path = report_path
+        #: The report of the most recent ``prewarm`` (for callers/tests).
+        self.last_report: Optional[RunReport] = None
 
     # ------------------------------------------------------------------ #
 
@@ -180,12 +299,15 @@ class ParallelRunner(ExperimentRunner):
 
     def prewarm(
         self, mixes: Iterable[Sequence[int]], schemes: Iterable[str]
-    ) -> None:
-        """Simulate the matrix's missing cells, ``jobs`` at a time.
+    ) -> RunReport:
+        """Simulate the matrix's missing cells under supervision.
 
         Besides each (mix, scheme) cell this covers what ``outcome`` will
         ask for next: the mix's baseline and every member's stand-alone
-        baseline run.
+        baseline run.  Finished cells are stored (and disk-cached) the
+        moment they complete, so an interrupted sweep resumes from the
+        cache; the returned :class:`RunReport` (also written as JSON next
+        to the cache) records per-cell attempts, sources and failures.
         """
         schemes = list(schemes)
         wanted: dict[Cell, None] = {}  # insertion-ordered set
@@ -197,36 +319,85 @@ class ParallelRunner(ExperimentRunner):
             for code in codes:
                 wanted[((code,), "baseline")] = None
 
+        report = RunReport(
+            config={
+                "jobs": self.jobs,
+                "timeout": self.timeout,
+                "retries": self.retries,
+                "fingerprint": list(runner_fingerprint(self))[1:],
+            }
+        )
+        self.last_report = report
+
         missing = []
         for cell in wanted:
             if cell in self._results:
+                report.mark_hit(cell, "memory")
                 continue
             if self.cache is not None:
                 found = self.cache.get(self._key(*cell))
                 if found is not None:
                     self._results[cell] = found
+                    report.mark_hit(cell, "cache")
                     continue
             missing.append(cell)
 
         if not missing:
-            return
-        if self.jobs == 1 or len(missing) == 1:
-            for cell in missing:
-                self._store(cell, self._simulate(*cell))
-            return
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(missing))) as pool:
-            for cell, result in pool.map(
-                _simulate_cell, [self._payload(cell) for cell in missing]
-            ):
-                self._store(cell, result)
+            report.finalize()
+            if self.report_path is not None:
+                report.write(self.report_path)
+            return report
+
+        supervisor = Supervisor(
+            _simulate_cell,
+            self._payload,
+            jobs=self.jobs,
+            timeout=self.timeout,
+            retries=self.retries,
+            backoff=self.backoff,
+            fault_plan=self.fault_plan,
+            validate=lambda result: isinstance(result, SystemResult),
+            on_result=self._store,
+            report=report,
+            report_path=self.report_path,
+        )
+        supervisor.run(missing)
+        return report
 
 
 def make_runner(
     jobs: int = 1,
     cache_dir: str | os.PathLike | None = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    fault_plan: Optional[FaultPlan] = None,
+    report_path: str | os.PathLike | None = None,
     **kwargs,
 ) -> ExperimentRunner:
-    """Build the cheapest runner that honours ``jobs``/``cache_dir``."""
-    if jobs <= 1 and cache_dir is None:
+    """Build the cheapest runner that honours the orchestration knobs.
+
+    A :class:`ParallelRunner` is returned whenever fan-out, caching,
+    supervision flags, or a fault plan (explicit or via the hidden
+    ``REPRO_FAULT_PLAN`` chaos knob) are in play; otherwise the plain
+    serial :class:`ExperimentRunner`.
+    """
+    if fault_plan is None:
+        fault_plan = fault_plan_from_env()
+    supervised = (
+        jobs > 1
+        or cache_dir is not None
+        or timeout is not None
+        or fault_plan is not None
+        or report_path is not None
+    )
+    if not supervised:
         return ExperimentRunner(**kwargs)
-    return ParallelRunner(jobs=jobs, cache_dir=cache_dir, **kwargs)
+    return ParallelRunner(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        timeout=timeout,
+        retries=retries,
+        fault_plan=fault_plan,
+        report_path=report_path,
+        **kwargs,
+    )

@@ -132,15 +132,16 @@ class ExperimentRunner:
             self._alone_ipc[code] = result.cores[0].ipc
         return self._alone_ipc[code]
 
-    def prewarm(
-        self, mixes: Iterable[Sequence[int]], schemes: Iterable[str]
-    ) -> None:
+    def prewarm(self, mixes: Iterable[Sequence[int]], schemes: Iterable[str]):
         """Hint that a (mix x scheme) matrix is about to be evaluated.
 
-        The serial runner computes cells lazily, so this is a no-op;
-        :class:`repro.experiments.parallel.ParallelRunner` overrides it to
-        fan the missing cells out across worker processes.
+        The serial runner computes cells lazily, so this is a no-op
+        returning ``None``; :class:`repro.experiments.parallel.ParallelRunner`
+        overrides it to fan the missing cells out across supervised worker
+        processes and returns the run's
+        :class:`~repro.experiments.supervision.RunReport`.
         """
+        return None
 
     # ------------------------------------------------------------------ #
 

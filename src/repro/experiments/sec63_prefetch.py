@@ -25,11 +25,15 @@ def run(
     warmup: int = 150_000,
     jobs: int = 1,
     cache_dir: str | None = None,
+    timeout: float | None = None,
+    retries: int = 2,
 ) -> ComparisonResult:
     """Run the prefetcher-sensitivity comparison."""
     runner = make_runner(
         jobs=jobs,
         cache_dir=cache_dir,
+        timeout=timeout,
+        retries=retries,
         scale=scale,
         quota=quota,
         warmup=warmup,

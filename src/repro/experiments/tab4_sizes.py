@@ -40,6 +40,8 @@ def run(
     warmup: int = 150_000,
     jobs: int = 1,
     cache_dir: str | None = None,
+    timeout: float | None = None,
+    retries: int = 2,
 ) -> list[Table4Row]:
     """Measure the off-chip reduction for each cache size and core count."""
     rows = []
@@ -50,6 +52,8 @@ def run(
             runner = make_runner(
                 jobs=jobs,
                 cache_dir=cache_dir,
+                timeout=timeout,
+                retries=retries,
                 scale=scale,
                 quota=quota,
                 warmup=warmup,

@@ -1,0 +1,44 @@
+"""Shared test infrastructure: a per-test wall-clock timeout.
+
+A regression that hangs the supervisor (or any simulation loop) must
+fail fast instead of stalling the whole run.  CI installs
+``pytest-timeout``; when that plugin is absent (e.g. a bare local
+checkout) this fallback arms a ``SIGALRM`` per test with the same
+budget, so the guarantee holds everywhere POSIX.  Override with
+``REPRO_TEST_TIMEOUT`` seconds; ``0`` disables the fallback.
+"""
+
+import os
+import signal
+
+import pytest
+
+#: Per-test budget in seconds.  Generous: the slowest legitimate tests
+#: (module-scoped simulation fixtures) finish well under a minute.
+TEST_TIMEOUT = int(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout(request):
+    if (
+        TEST_TIMEOUT <= 0
+        or not hasattr(signal, "SIGALRM")
+        or request.config.pluginmanager.hasplugin("timeout")
+    ):
+        yield  # disabled, unsupported platform, or pytest-timeout owns it
+        return
+
+    def on_alarm(signum, frame):
+        pytest.fail(
+            f"test exceeded the {TEST_TIMEOUT}s per-test timeout "
+            "(REPRO_TEST_TIMEOUT to override)",
+            pytrace=True,
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

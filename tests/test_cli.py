@@ -41,7 +41,66 @@ def test_unknown_experiment_rejected():
         main(["experiment", "fig99"])
 
 
+def test_unknown_scheme_exits_with_available_list(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--mix", "471+444", "--scheme", "typo"])
+    message = str(excinfo.value)
+    assert "unknown scheme 'typo'" in message
+    assert "avgcc" in message and "ascc/<sets-per-counter>" in message
+    assert "Traceback" not in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "flag,value",
+    [("--quota", "-5"), ("--quota", "0"), ("--warmup", "-1"), ("--seed", "-3"),
+     ("--jobs", "0"), ("--retries", "-1"), ("--timeout", "-2")],
+)
+def test_negative_numeric_flags_rejected(flag, value, capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "--mix", "471+444", flag, value])
+    err = capsys.readouterr().err
+    assert flag in err and ("negative" in err or "positive" in err)
+
+
 def test_parser_builds():
     parser = build_parser()
     args = parser.parse_args(["run", "--mix", "471+444"])
     assert args.scheme == "avgcc"
+    assert args.timeout is None and args.retries == 2 and args.report is None
+
+
+def test_supervision_flags_parse():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["experiment", "fig8", "--jobs", "4", "--timeout", "30",
+         "--retries", "1", "--report", "/tmp/r.json"]
+    )
+    assert args.timeout == 30.0 and args.retries == 1
+    assert args.report == "/tmp/r.json"
+
+
+def test_run_writes_report_when_asked(tmp_path, capsys):
+    report = tmp_path / "report.json"
+    code = main(["run", "--mix", "444", "--scheme", "baseline",
+                 "--quota", "2000", "--warmup", "1000",
+                 "--cache-dir", str(tmp_path / "cells"), "--report", str(report)])
+    assert code == 0
+    import json
+
+    data = json.loads(report.read_text())
+    assert data["counts"]["simulated"] == data["counts"]["total"]
+    assert data["interrupted"] is False
+
+
+def test_chaos_env_knob_injects_and_recovers(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_PLAN", "crash=1,seed=3")
+    report = tmp_path / "report.json"
+    code = main(["run", "--mix", "444", "--scheme", "baseline",
+                 "--quota", "2000", "--warmup", "1000",
+                 "--retries", "2", "--report", str(report)])
+    assert code == 0
+    import json
+
+    data = json.loads(report.read_text())
+    assert data["retried"] == 1  # the injected crash was retried
+    assert data["counts"]["failed"] == 0

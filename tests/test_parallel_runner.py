@@ -115,7 +115,111 @@ def test_corrupt_cache_entry_is_a_miss(tmp_path):
     assert cache.get(key) is None
 
 
-def test_make_runner_picks_cheapest_class(tmp_path):
+def test_make_runner_picks_cheapest_class(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
     assert type(make_runner()) is ExperimentRunner
     assert isinstance(make_runner(jobs=2), ParallelRunner)
     assert isinstance(make_runner(cache_dir=tmp_path), ParallelRunner)
+    # The supervision knobs and the chaos env knob also need supervision.
+    assert isinstance(make_runner(timeout=5.0), ParallelRunner)
+    monkeypatch.setenv("REPRO_FAULT_PLAN", "crash=1")
+    assert isinstance(make_runner(), ParallelRunner)
+
+
+# --------------------------------------------------------------------- #
+# Cache integrity: checksummed entries, quarantine, stale-tmp sweep
+# --------------------------------------------------------------------- #
+
+
+def entry_path(cache_dir, key):
+    return cache_dir / key[:2] / f"{key}.pkl"
+
+
+def any_warm_key(cache_dir):
+    fingerprint = runner_fingerprint(ExperimentRunner(**PARAMS))
+    return cell_key(fingerprint, *CELLS[0]), entry_path(
+        cache_dir, cell_key(fingerprint, *CELLS[0])
+    )
+
+
+def test_entries_carry_magic_and_verified_checksum(warm_cache_dir):
+    cache_dir, _ = warm_cache_dir
+    key, path = any_warm_key(cache_dir)
+    data = path.read_bytes()
+    assert data.startswith(ResultCache.MAGIC)
+    import hashlib
+
+    header = len(ResultCache.MAGIC) + hashlib.sha256().digest_size
+    assert hashlib.sha256(data[header:]).digest() == data[len(ResultCache.MAGIC) : header]
+    assert ResultCache(cache_dir).get(key) is not None
+
+
+def test_bitflip_and_truncation_quarantine_the_entry(warm_cache_dir, tmp_path):
+    cache_dir, _ = warm_cache_dir
+    key, path = any_warm_key(cache_dir)
+    good = path.read_bytes()
+    try:
+        for damage in (good[:-7], good[: len(good) // 2], b""):
+            path.write_bytes(damage)
+            cache = ResultCache(cache_dir)
+            assert cache.get(key) is None
+            assert cache.quarantined == 1
+            assert not path.exists()  # never servable again
+            quarantined = cache_dir / ResultCache.QUARANTINE / path.name
+            assert quarantined.exists()
+            quarantined.unlink()
+    finally:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(good)
+
+
+def test_unchecksummed_v1_style_entry_misses_cleanly(tmp_path):
+    import pickle
+
+    cache = ResultCache(tmp_path)
+    key = cell_key(runner_fingerprint(ExperimentRunner(**PARAMS)), MIX, SCHEME)
+    path = entry_path(tmp_path, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(pickle.dumps({"v1": "raw pickle, no magic/checksum"}))
+    assert ResultCache(tmp_path).get(key) is None
+
+
+def test_format_version_bumped_for_checksummed_layout():
+    from repro.experiments.parallel import _FORMAT_VERSION
+
+    assert _FORMAT_VERSION >= 2
+    assert runner_fingerprint(ExperimentRunner(**PARAMS))[0] == _FORMAT_VERSION
+
+
+def test_stale_tmp_files_are_swept_on_init(tmp_path):
+    import os
+
+    sub = tmp_path / "ab"
+    sub.mkdir()
+    dead = sub / ".deadkey.999999999.tmp"  # PID far beyond pid_max
+    dead.write_bytes(b"stranded by a crashed writer")
+    unparsable = sub / ".weird.tmp"
+    unparsable.write_bytes(b"no pid field")
+    live = sub / f".livekey.{os.getpid()}.tmp"  # a writer that still exists
+    live.write_bytes(b"in-flight write")
+    ResultCache(tmp_path)
+    assert not dead.exists()
+    assert not unparsable.exists()
+    assert live.exists()
+
+
+def test_put_cleans_up_tmp_when_replace_fails(tmp_path, monkeypatch):
+    runner = ExperimentRunner(**PARAMS)
+    result = runner.run((471,), "baseline")
+    cache = ResultCache(tmp_path)
+    key = cell_key(runner_fingerprint(runner), (471,), "baseline")
+
+    def boom(src, dst):
+        raise OSError("injected replace failure")
+
+    monkeypatch.setattr("repro.experiments.parallel.os.replace", boom)
+    with pytest.raises(OSError):
+        cache.put(key, result)
+    monkeypatch.undo()
+    assert not list(tmp_path.glob("*/.*.tmp")), "tmp file must not be stranded"
+    assert cache.get(key) is None  # nothing partial became servable
