@@ -49,6 +49,23 @@ def format_series(
     return "\n".join(lines)
 
 
+def format_histogram(
+    label: str, counts: Iterable[tuple[str, int]], width: int = 40
+) -> str:
+    """Render labelled counts as an ASCII bar histogram.
+
+    Bars scale to the largest count; used by ``repro stats`` for SSL
+    role/state histograms.
+    """
+    items = [(name, count) for name, count in counts]
+    top = max((count for _name, count in items), default=0)
+    lines = [label]
+    for name, count in items:
+        bar = "#" * (0 if top <= 0 else max(0, int(round(width * count / top))))
+        lines.append(f"  {name:<14} {count:>8} {bar}")
+    return "\n".join(lines)
+
+
 def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.3f}" if abs(cell) < 100 else f"{cell:.1f}"

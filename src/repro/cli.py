@@ -20,14 +20,28 @@ Commands
 ``calibrate``
     Print each benchmark model's measured MPKI/CPI against Table 3.
 
+``stats``
+    Simulate one mix with interval telemetry attached and print each
+    core's MPKI / CPI / spill-rate / SSL-state time-series::
+
+        python -m repro.cli stats --mix 471+444 --scheme avgcc
+
+``trace``
+    Simulate one mix with event tracing attached and emit the typed
+    events (spill, swap, receive_flip, regrain, qos_throttle) as JSONL::
+
+        python -m repro.cli trace --mix 471+444 --events spill,swap
+
 ``run``, ``experiment`` and ``calibrate`` accept ``--jobs N`` (simulate
 independent cells across N worker processes), ``--cache-dir DIR``
 (content-addressed on-disk result cache reused across invocations),
 ``--timeout SECONDS`` (per-cell wall-clock limit; a hung worker is
 killed and the cell retried), ``--retries N`` (bounded retry with
-exponential backoff for crashed/hung/corrupt cells) and ``--report
+exponential backoff for crashed/hung/corrupt cells), ``--report
 PATH`` (write the run's JSON manifest — per-cell status, attempts,
-cache hits vs simulations — there instead of next to the cache).
+cache hits vs simulations — there instead of next to the cache) and
+``--metrics PATH`` (the same report in Prometheus text format:
+per-cell timings, queue latency, worker utilization, cache hit rates).
 An interrupted sweep (``Ctrl-C``/OOM) keeps every completed cell in the
 cache; re-running the same command resumes, simulating only what
 remains.  The hidden ``REPRO_FAULT_PLAN`` environment variable (e.g.
@@ -66,6 +80,7 @@ from repro.experiments.runner import SHARED_SCHEME
 from repro.experiments.supervision import SupervisionError
 from repro.policies.registry import available_schemes, make_policy
 from repro.workloads.mixes import MIX2, MIX4, mix_name
+from repro.workloads.spec2006 import all_codes
 
 #: Experiment name -> (run, format) pair.  Entries taking a runner get one.
 _EXPERIMENTS: dict[str, tuple[Callable, Callable, bool]] = {
@@ -110,10 +125,36 @@ def _cmd_mixes(_: argparse.Namespace) -> int:
 
 
 def _parse_mix(text: str) -> tuple[int, ...]:
-    try:
-        return tuple(int(part) for part in text.split("+"))
-    except ValueError:
-        raise SystemExit(f"bad mix {text!r}: expected codes like 471+444")
+    """Parse ``471+444`` into benchmark codes, failing with usable messages.
+
+    Every malformed shape — empty mix, empty component (``471+``),
+    non-numeric parts, unknown SPEC codes — exits with a message naming
+    the offending piece and what would have been accepted, never a
+    traceback.
+    """
+    parts = text.split("+")
+    if not text.strip() or any(not part.strip() for part in parts):
+        raise SystemExit(
+            f"bad mix {text!r}: expected '+'-separated SPEC codes like 471+444"
+        )
+    codes = []
+    for part in parts:
+        try:
+            codes.append(int(part))
+        except ValueError:
+            raise SystemExit(
+                f"bad mix {text!r}: {part.strip()!r} is not a number; "
+                f"expected SPEC codes like 471+444"
+            ) from None
+    known = all_codes()
+    unknown = [code for code in codes if code not in known]
+    if unknown:
+        raise SystemExit(
+            f"bad mix {text!r}: unknown benchmark code(s) "
+            f"{', '.join(str(c) for c in unknown)}; available: "
+            f"{', '.join(str(c) for c in known)}"
+        )
+    return tuple(codes)
 
 
 def _validate_scheme(name: str) -> None:
@@ -136,6 +177,7 @@ def _runner_flags(args: argparse.Namespace) -> dict:
         timeout=args.timeout,
         retries=args.retries,
         report_path=args.report,
+        metrics_path=args.metrics,
     )
 
 
@@ -199,6 +241,110 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
     runner = make_runner(**_runner_flags(args), quota=args.quota, warmup=args.warmup)
     print(format_calibration(calibrate(runner)))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import format_histogram, format_table
+    from repro.experiments.runner import simulate_mix
+    from repro.obs import IntervalRecorder
+
+    mix = _parse_mix(args.mix)
+    _validate_scheme(args.scheme)
+    recorder = IntervalRecorder(interval=args.interval)
+    simulate_mix(
+        mix,
+        args.scheme,
+        quota=args.quota,
+        warmup=args.warmup,
+        seed=args.seed,
+        observer=recorder,
+    )
+    if args.json is not None:
+        from pathlib import Path
+
+        Path(args.json).write_text(recorder.to_json(indent=2))
+    for core_id, series in sorted(recorder.by_core().items()):
+        rows = []
+        for s in series:
+            roles = (s.ssl or {}).get("roles") or {}
+            d = (s.ssl or {}).get("granularity_log2")
+            rows.append(
+                [
+                    s.index,
+                    s.instructions,
+                    f"{s.cpi:.3f}",
+                    f"{s.mpki:.2f}",
+                    f"{s.offchip_mpki:.2f}",
+                    f"{s.spill_out_pki:.2f}",
+                    f"{s.spill_in_pki:.2f}",
+                    "-" if d is None else d,
+                    "-"
+                    if not roles
+                    else f"{roles.get('receiver', 0)}/{roles.get('neutral', 0)}"
+                    f"/{roles.get('spiller', 0)}",
+                ]
+            )
+        print(
+            format_table(
+                ["#", "instr", "cpi", "mpki", "offchip", "out/ki", "in/ki", "D", "r/n/s"],
+                rows,
+                title=f"core{core_id} ({recorder.core_name(core_id)}), "
+                f"every {recorder.interval} instructions:",
+            )
+        )
+        last = series[-1].ssl
+        if last and last.get("roles"):
+            print(
+                format_histogram(
+                    "  final set roles:", sorted(last["roles"].items())
+                )
+            )
+        print()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import simulate_mix
+    from repro.obs import EventTracer
+    from repro.obs.events import KNOWN_KINDS
+
+    mix = _parse_mix(args.mix)
+    _validate_scheme(args.scheme)
+    kinds = None
+    if args.events is not None:
+        kinds = tuple(k.strip() for k in args.events.split(",") if k.strip())
+        unknown = sorted(set(kinds) - set(KNOWN_KINDS))
+        if not kinds or unknown:
+            raise SystemExit(
+                f"bad --events {args.events!r}: "
+                + (
+                    f"unknown kind(s) {', '.join(unknown)}; "
+                    if unknown
+                    else "no kinds given; "
+                )
+                + f"known kinds: {', '.join(KNOWN_KINDS)}"
+            )
+    tracer = EventTracer(capacity=args.capacity, kinds=kinds)
+    simulate_mix(
+        mix,
+        args.scheme,
+        quota=args.quota,
+        warmup=args.warmup,
+        seed=args.seed,
+        observer=tracer,
+    )
+    if args.output is not None:
+        with open(args.output, "w") as stream:
+            tracer.write_jsonl(stream)
+    else:
+        tracer.write_jsonl(sys.stdout)
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(tracer.counts().items()))
+    print(
+        f"{len(tracer)} events ({tracer.emitted} emitted, "
+        f"{tracer.dropped} dropped){': ' + counts if counts else ''}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -282,6 +428,14 @@ def build_parser() -> argparse.ArgumentParser:
             "cache hits vs simulations) here; defaults to "
             "<cache-dir>/run_report.json when --cache-dir is set",
         )
+        p.add_argument(
+            "--metrics",
+            default=None,
+            metavar="PATH",
+            help="write the run report in Prometheus text format here "
+            "(per-cell timings, queue latency, worker utilization, "
+            "result-cache hit rates)",
+        )
 
     sub.add_parser("schemes", help="list available schemes").set_defaults(fn=_cmd_schemes)
     sub.add_parser("mixes", help="list the paper's mixes").set_defaults(fn=_cmd_mixes)
@@ -305,6 +459,59 @@ def build_parser() -> argparse.ArgumentParser:
     cal_p.add_argument("--warmup", type=_nonnegative_int("--warmup"), default=60_000)
     add_parallel_flags(cal_p)
     cal_p.set_defaults(fn=_cmd_calibrate)
+
+    def add_sim_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--mix", required=True, help="e.g. 471+444")
+        p.add_argument("--scheme", default="avgcc")
+        p.add_argument("--quota", type=_positive_int("--quota"), default=150_000)
+        p.add_argument(
+            "--warmup", type=_nonnegative_int("--warmup"), default=150_000
+        )
+        p.add_argument("--seed", type=_nonnegative_int("--seed"), default=7)
+
+    stats_p = sub.add_parser(
+        "stats", help="per-core interval telemetry (MPKI/CPI/spills/SSL)"
+    )
+    add_sim_flags(stats_p)
+    stats_p.add_argument(
+        "--interval",
+        type=_positive_int("--interval"),
+        default=10_000,
+        help="committed instructions between samples (default: 10000)",
+    )
+    stats_p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also dump the full time-series (with raw deltas and SSL "
+        "snapshots) as JSON here",
+    )
+    stats_p.set_defaults(fn=_cmd_stats)
+
+    trace_p = sub.add_parser(
+        "trace", help="typed event trace (spills, swaps, flips) as JSONL"
+    )
+    add_sim_flags(trace_p)
+    trace_p.add_argument(
+        "--events",
+        default=None,
+        metavar="KINDS",
+        help="comma-separated kinds to keep (spill, swap, receive_flip, "
+        "regrain, qos_throttle); default: all",
+    )
+    trace_p.add_argument(
+        "--capacity",
+        type=_positive_int("--capacity"),
+        default=65_536,
+        help="ring-buffer size; oldest events drop beyond it (default: 65536)",
+    )
+    trace_p.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the JSONL here instead of stdout",
+    )
+    trace_p.set_defaults(fn=_cmd_trace)
     return parser
 
 

@@ -136,7 +136,12 @@ class ASCC(LLCPolicy):
             # this group to the capacity-oriented insertion policy.  (The
             # decision is suppressed while caches are still warming, so a
             # cold-start transient cannot latch a long-lived mode.)
-            self.banks[cache_id].enter_capacity_mode(set_idx)
+            bank = self.banks[cache_id]
+            if self.observer is not None and not bank.in_capacity_mode(set_idx):
+                self.observer.emit(
+                    "receive_flip", cache=cache_id, set=set_idx, mode="capacity"
+                )
+            bank.enter_capacity_mode(set_idx)
         return receiver
 
     def wants_swap(self, cache_id: int, set_idx: int) -> bool:
@@ -165,6 +170,10 @@ class ASCC(LLCPolicy):
             return 0
         if bank.value(set_idx) < bank.ways:
             # Pressure relieved: revert to traditional MRU insertion.
+            if self.observer is not None and bank.in_capacity_mode(set_idx):
+                self.observer.emit(
+                    "receive_flip", cache=cache_id, set=set_idx, mode="mru"
+                )
             bank.leave_capacity_mode(set_idx)
             return 0
         if bank.in_capacity_mode(set_idx):

@@ -68,21 +68,31 @@ class AVGCC(ASCC):
     def tick(self) -> None:
         """Periodic re-grain of every cache (paper: every 100 000 accesses)."""
         super().tick()  # counter decay
-        for bank in self.banks:
-            self._adjust(bank)
+        for cache_id, bank in enumerate(self.banks):
+            self._adjust(cache_id, bank)
 
-    def _adjust(self, bank: SetStateBank) -> None:
+    def _adjust(self, cache_id: int, bank: SetStateBank) -> None:
         in_use = bank.counters_in_use
         d = bank.granularity_log2
         low = bank.low_value_count()  # the B counter's value
         if low > in_use // 2 and d > self._min_d:
             # Most groups can donate space: duplicate the counters in use.
             bank.set_granularity(d - 1)
+            if self.observer is not None:
+                self.observer.emit(
+                    "regrain", cache=cache_id, old_d=d, new_d=d - 1,
+                    counters=bank.counters_in_use,
+                )
             return
         similar = bank.similar_pair_count()  # the A counter's value
         if in_use >= 2 and similar == in_use // 2 and d < bank.max_granularity_log2:
             # Every neighbour pair is redundant: halve the counters in use.
             bank.set_granularity(d + 1)
+            if self.observer is not None:
+                self.observer.emit(
+                    "regrain", cache=cache_id, old_d=d, new_d=d + 1,
+                    counters=bank.counters_in_use,
+                )
 
     def describe(self) -> str:
         ds = [bank.granularity_log2 for bank in self.banks]

@@ -89,6 +89,11 @@ class QoSAVGCC(AVGCC):
                 ratio = mbc / max(mbc, misses) if mbc > 0 else 0.0
             # Quantise to 1.3 fixed point, as the hardware stores it.
             ratio = round(ratio * (1 << QOS_FRACTION_BITS)) / (1 << QOS_FRACTION_BITS)
+            if self.observer is not None and ratio != self.qos_ratios[cache_id]:
+                self.observer.emit(
+                    "qos_throttle", cache=cache_id, ratio=ratio,
+                    previous=self.qos_ratios[cache_id],
+                )
             self.qos_ratios[cache_id] = ratio
             bank.set_miss_increment(ratio)
             self._misses_with[cache_id] = 0

@@ -103,6 +103,8 @@ class ResultCache:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.quarantined = 0
+        self.hits = 0
+        self.misses = 0
         self._sweep_stale_tmp()
 
     def _path(self, key: str) -> Path:
@@ -150,6 +152,7 @@ class ResultCache:
         try:
             data = path.read_bytes()
         except OSError:
+            self.misses += 1
             return None
         header = len(self.MAGIC) + hashlib.sha256().digest_size
         if (
@@ -159,15 +162,19 @@ class ResultCache:
             != data[len(self.MAGIC) : header]
         ):
             self._quarantine(path)
+            self.misses += 1
             return None
         try:
             result = pickle.loads(data[header:])
         except Exception:
             self._quarantine(path)
+            self.misses += 1
             return None
         if not isinstance(result, SystemResult):
             self._quarantine(path)
+            self.misses += 1
             return None
+        self.hits += 1
         return result
 
     def put(self, key: str, result: SystemResult) -> None:
@@ -241,6 +248,7 @@ class ParallelRunner(ExperimentRunner):
         backoff: float = 0.25,
         fault_plan: Optional[FaultPlan] = None,
         report_path: str | os.PathLike | None = None,
+        metrics_path: str | os.PathLike | None = None,
         **kwargs,
     ) -> None:
         super().__init__(**kwargs)
@@ -253,6 +261,9 @@ class ParallelRunner(ExperimentRunner):
         if report_path is None and cache_dir is not None:
             report_path = Path(cache_dir) / "run_report.json"
         self.report_path = report_path
+        #: Where ``prewarm`` drops the Prometheus text rendering of its
+        #: report (``--metrics`` on the CLI); ``None`` disables it.
+        self.metrics_path = metrics_path
         #: The report of the most recent ``prewarm`` (for callers/tests).
         self.last_report: Optional[RunReport] = None
 
@@ -328,24 +339,38 @@ class ParallelRunner(ExperimentRunner):
             }
         )
         self.last_report = report
+        cache = self.cache
+        base = (
+            (cache.hits, cache.misses, cache.quarantined)
+            if cache is not None
+            else (0, 0, 0)
+        )
 
         missing = []
         for cell in wanted:
             if cell in self._results:
                 report.mark_hit(cell, "memory")
                 continue
-            if self.cache is not None:
-                found = self.cache.get(self._key(*cell))
+            if cache is not None:
+                found = cache.get(self._key(*cell))
                 if found is not None:
                     self._results[cell] = found
                     report.mark_hit(cell, "cache")
                     continue
             missing.append(cell)
 
+        if cache is not None:
+            # All of prewarm's disk lookups happen in the scan above, so
+            # the deltas are final before anything gets written.
+            report.cache_hits = cache.hits - base[0]
+            report.cache_misses = cache.misses - base[1]
+            report.cache_quarantined = cache.quarantined - base[2]
+
         if not missing:
             report.finalize()
             if self.report_path is not None:
                 report.write(self.report_path)
+            self._write_metrics(report)
             return report
 
         supervisor = Supervisor(
@@ -361,8 +386,20 @@ class ParallelRunner(ExperimentRunner):
             report=report,
             report_path=self.report_path,
         )
-        supervisor.run(missing)
+        try:
+            supervisor.run(missing)
+        finally:
+            # Interrupted or failed sweeps still leave their metrics, like
+            # the JSON report the supervisor writes on the same paths.
+            self._write_metrics(report)
         return report
+
+    def _write_metrics(self, report: RunReport) -> None:
+        if self.metrics_path is None:
+            return
+        path = Path(self.metrics_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_prometheus())
 
 
 def make_runner(
@@ -372,6 +409,7 @@ def make_runner(
     retries: int = 2,
     fault_plan: Optional[FaultPlan] = None,
     report_path: str | os.PathLike | None = None,
+    metrics_path: str | os.PathLike | None = None,
     **kwargs,
 ) -> ExperimentRunner:
     """Build the cheapest runner that honours the orchestration knobs.
@@ -389,6 +427,7 @@ def make_runner(
         or timeout is not None
         or fault_plan is not None
         or report_path is not None
+        or metrics_path is not None
     )
     if not supervised:
         return ExperimentRunner(**kwargs)
@@ -399,5 +438,6 @@ def make_runner(
         retries=retries,
         fault_plan=fault_plan,
         report_path=report_path,
+        metrics_path=metrics_path,
         **kwargs,
     )

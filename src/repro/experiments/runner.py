@@ -33,6 +33,54 @@ from repro.workloads.mixes import make_workloads, mix_name
 SHARED_SCHEME = "shared"
 
 
+def simulate_mix(
+    codes: Sequence[int],
+    scheme: str,
+    *,
+    scale: ScaleModel = ScaleModel(),
+    quota: int = 150_000,
+    warmup: int = 150_000,
+    seed: int = 7,
+    l2_paper_bytes: int = PAPER_L2.size_bytes,
+    prefetch: Optional[PrefetchConfig] = None,
+    observer=None,
+) -> SystemResult:
+    """Simulate one (mix, scheme) cell and return its :class:`SystemResult`.
+
+    The single entry point behind :class:`ExperimentRunner` and the
+    observability CLI (``repro stats`` / ``repro trace``): with
+    ``observer=None`` the run is bit-identical to the runner's cached
+    path for the same parameters; passing an
+    :class:`~repro.obs.observer.Observer` taps the same simulation for
+    interval telemetry or event traces without perturbing it.
+    """
+    codes = tuple(codes)
+    workloads = make_workloads(codes, scale)
+    config = default_config(
+        num_cores=len(codes),
+        scale=scale,
+        quota=quota,
+        seed=seed,
+        l2_paper_bytes=l2_paper_bytes,
+        prefetch=prefetch,
+    )
+    if scheme == SHARED_SCHEME:
+        hierarchy: PrivateHierarchy | SharedHierarchy = SharedHierarchy(config)
+    else:
+        hierarchy = PrivateHierarchy(config, make_policy(scheme))
+    engine = Engine(
+        hierarchy, workloads, config.quota, config.seed, warmup, observer=observer
+    )
+    engine.run()
+    return SystemResult(
+        scheme=scheme,
+        workload=mix_name(codes),
+        cores=hierarchy.stats,
+        traffic=hierarchy.traffic,
+        latencies=config.latencies,
+    )
+
+
 @dataclass
 class MixOutcome:
     """A scheme's result on one mix, normalised against the baseline.
@@ -146,27 +194,15 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
 
     def _simulate(self, codes: tuple[int, ...], scheme: str) -> SystemResult:
-        workloads = make_workloads(codes, self.scale)
-        config = default_config(
-            num_cores=len(codes),
+        return simulate_mix(
+            codes,
+            scheme,
             scale=self.scale,
             quota=self.quota,
+            warmup=self.warmup,
             seed=self.seed,
             l2_paper_bytes=self.l2_paper_bytes,
             prefetch=self.prefetch,
-        )
-        if scheme == SHARED_SCHEME:
-            hierarchy: PrivateHierarchy | SharedHierarchy = SharedHierarchy(config)
-        else:
-            hierarchy = PrivateHierarchy(config, make_policy(scheme))
-        engine = Engine(hierarchy, workloads, config.quota, config.seed, self.warmup)
-        engine.run()
-        return SystemResult(
-            scheme=scheme,
-            workload=mix_name(codes),
-            cores=hierarchy.stats,
-            traffic=hierarchy.traffic,
-            latencies=config.latencies,
         )
 
 

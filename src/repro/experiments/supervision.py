@@ -76,6 +76,8 @@ class CellRecord:
     source: str = ""  # memory | cache | simulated (set when status == ok)
     attempts: int = 0
     duration: float = 0.0
+    #: Summed ready-to-submitted latency across this cell's attempts.
+    queue_seconds: float = 0.0
     errors: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
@@ -87,6 +89,7 @@ class CellRecord:
             "source": self.source,
             "attempts": self.attempts,
             "duration": round(self.duration, 6),
+            "queue_seconds": round(self.queue_seconds, 6),
             "errors": list(self.errors),
         }
 
@@ -100,7 +103,7 @@ class RunReport:
     says exactly how much work a re-invocation actually redid.
     """
 
-    VERSION = 1
+    VERSION = 2
 
     def __init__(self, config: Optional[dict] = None) -> None:
         self.config = dict(config or {})
@@ -112,6 +115,13 @@ class RunReport:
         self.interrupted = False
         self.started = time.time()
         self.finished: Optional[float] = None
+        #: Disk result-cache traffic attributable to this run (folded in
+        #: by the parallel runner; stay zero for cache-less sweeps).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_quarantined = 0
+        self._mono_started = time.monotonic()
+        self._mono_finished: Optional[float] = None
 
     # -- recording ----------------------------------------------------- #
 
@@ -133,8 +143,45 @@ class RunReport:
 
     def finalize(self) -> None:
         self.finished = time.time()
+        self._mono_finished = time.monotonic()
 
     # -- reading ------------------------------------------------------- #
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds (monotonic) from construction to finalize.
+
+        A live (not yet finalized) report measures up to *now*, so the
+        metric is usable from progress hooks mid-sweep.
+        """
+        end = self._mono_finished
+        if end is None:
+            end = time.monotonic()
+        return max(0.0, end - self._mono_started)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Summed simulation wall time across all workers."""
+        return sum(rec.duration for rec in self.records.values())
+
+    @property
+    def queue_seconds(self) -> float:
+        """Summed ready-to-submitted latency across all cells."""
+        return sum(rec.queue_seconds for rec in self.records.values())
+
+    @property
+    def worker_utilization(self) -> float:
+        """``busy_seconds / (elapsed * jobs)`` — the fan-out's efficiency."""
+        elapsed = self.elapsed
+        jobs = max(1, int(self.config.get("jobs") or 1))
+        if elapsed <= 0.0:
+            return 0.0
+        return self.busy_seconds / (elapsed * jobs)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     @property
     def counts(self) -> dict:
@@ -172,8 +219,26 @@ class RunReport:
             "retried": self.retried,
             "config": self.config,
             "counts": self.counts,
+            "timing": {
+                "elapsed": round(self.elapsed, 6),
+                "busy_seconds": round(self.busy_seconds, 6),
+                "queue_seconds": round(self.queue_seconds, 6),
+                "worker_utilization": round(self.worker_utilization, 6),
+            },
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "quarantined": self.cache_quarantined,
+                "hit_ratio": round(self.cache_hit_ratio, 6),
+            },
             "cells": [rec.to_dict() for rec in self.records.values()],
         }
+
+    def to_prometheus(self, per_cell: bool = True) -> str:
+        """Prometheus text-exposition rendering of this report."""
+        from repro.obs.metrics import report_to_prometheus
+
+        return report_to_prometheus(self, per_cell=per_cell)
 
     def write(self, path: str | os.PathLike) -> Path:
         """Atomically write the report as JSON (tmp file + replace)."""
@@ -266,6 +331,9 @@ class Supervisor:
         self._results: dict = {}
         self._failed: dict = {}
         self._pool_deaths = 0
+        #: cell -> monotonic instant it last became ready to run; the gap
+        #: to actual submission is charged as the cell's queue latency.
+        self._enqueued: dict = {}
 
     # -- public -------------------------------------------------------- #
 
@@ -281,9 +349,11 @@ class Supervisor:
         writing the report) if the run was interrupted.
         """
         cells = list(dict.fromkeys(cells))
+        ready = time.monotonic()
         for cell in cells:
             self.report.record(cell)
             self._attempts.setdefault(cell, 0)
+            self._enqueued[cell] = ready
         if self.fault_plan is not None:
             self.fault_plan.bind(cells)
 
@@ -368,6 +438,9 @@ class Supervisor:
             attempt = self._charge(cell)
             payload = self._payload_for(cell, attempt, in_process=True)
             start = time.monotonic()
+            self.report.record(cell).queue_seconds += max(
+                0.0, start - self._enqueued.pop(cell, start)
+            )
             try:
                 _, result = self.worker(payload)
             except KeyboardInterrupt:
@@ -377,11 +450,13 @@ class Supervisor:
                 if self._register_failure(cell, f"error: {exc!r}"):
                     time.sleep(self._backoff_delay(cell))
                     queue.append(cell)
+                    self._enqueued[cell] = time.monotonic()
                 continue
             if not self._accept(cell, result, time.monotonic() - start):
                 if self._register_failure(cell, "invalid-result"):
                     time.sleep(self._backoff_delay(cell))
                     queue.append(cell)
+                    self._enqueued[cell] = time.monotonic()
 
     # -- pool mode ----------------------------------------------------- #
 
@@ -450,6 +525,9 @@ class Supervisor:
                 self._uncharge(cell)
                 pending.appendleft((cell, 0.0))
                 return self._recycle(pool, pending, inflight, death=True)
+            self.report.record(cell).queue_seconds += max(
+                0.0, now - self._enqueued.pop(cell, now)
+            )
             deadline = None if self.timeout is None else now + self.timeout
             inflight[fut] = (cell, deadline, now)
         return pool
@@ -475,7 +553,10 @@ class Supervisor:
 
     def _fail_or_requeue(self, cell, kind: str, pending: deque) -> None:
         if self._register_failure(cell, kind):
-            pending.append((cell, time.monotonic() + self._backoff_delay(cell)))
+            not_before = time.monotonic() + self._backoff_delay(cell)
+            pending.append((cell, not_before))
+            # The cell only becomes *ready* once its backoff elapses.
+            self._enqueued[cell] = not_before
 
     def _recycle(self, pool, pending: deque, inflight: dict, *, death: bool):
         """Kill and respawn the pool; requeue in-flight cells uncharged.
@@ -483,10 +564,12 @@ class Supervisor:
         Returns the fresh pool, or ``None`` once unexpected deaths
         exceed ``max_pool_deaths`` (the caller then degrades to serial).
         """
+        now = time.monotonic()
         for fut in list(inflight):
             cell, _deadline, _t0 = inflight.pop(fut)
             self._uncharge(cell)
             pending.append((cell, 0.0))
+            self._enqueued[cell] = now
         self._kill_pool(pool)
         if death:
             self.report.pool_deaths += 1
@@ -508,8 +591,10 @@ class Supervisor:
     def _degrade(self, pending: deque, inflight: dict) -> None:
         """Finish the sweep in-process after repeated pool deaths."""
         self.report.degraded_serial = True
+        now = time.monotonic()
         for fut in list(inflight):
             cell, _deadline, _t0 = inflight.pop(fut)
             self._uncharge(cell)
             pending.append((cell, 0.0))
+            self._enqueued[cell] = now
         self._run_serial(deque(cell for cell, _nb in pending))

@@ -1,0 +1,35 @@
+"""``repro.obs`` — zero-cost-when-off observability for the whole stack.
+
+Three layers, one package:
+
+* **Interval telemetry** (:mod:`repro.obs.interval`) — per-core
+  time-series of MPKI / CPI / spill rates / SSL state sampled every N
+  committed instructions by the engine;
+* **Event tracing** (:mod:`repro.obs.events`) — a bounded ring buffer of
+  typed events (spill, swap, receive-flip, regrain, QoS throttle) with
+  JSONL export;
+* **Pipeline profiling** (:mod:`repro.obs.metrics`) — Prometheus-style
+  text export of the experiment stack's
+  :class:`~repro.experiments.supervision.RunReport` (per-cell timings,
+  queue latency, worker utilization, result-cache hit rates).
+
+The :class:`~repro.obs.observer.Observer` contract (and its
+zero-overhead guarantee) is documented in :mod:`repro.obs.observer` and
+DESIGN.md §10.
+"""
+
+from repro.obs.events import EventTracer, TraceEvent
+from repro.obs.interval import IntervalRecorder, IntervalSample
+from repro.obs.metrics import report_to_prometheus, write_prometheus
+from repro.obs.observer import CompositeObserver, Observer
+
+__all__ = [
+    "CompositeObserver",
+    "EventTracer",
+    "IntervalRecorder",
+    "IntervalSample",
+    "Observer",
+    "TraceEvent",
+    "report_to_prometheus",
+    "write_prometheus",
+]

@@ -1,0 +1,127 @@
+"""Structured event tracing: a bounded ring buffer of typed events.
+
+The simulator's interesting moments are sparse relative to its access
+stream — spills, swaps, insertion-policy flips, re-grains, QoS
+throttles.  :class:`EventTracer` records them as typed
+:class:`TraceEvent` records in a ``deque(maxlen=capacity)`` ring, so a
+runaway run can never exhaust memory: once full, the oldest events are
+dropped (and counted) while the newest are kept — the end of a run is
+usually where a divergence is being diagnosed.
+
+Events export as JSONL (one JSON object per line) for replay, diffing
+and ad-hoc ``jq`` analysis; ``repro trace`` on the CLI wires this to a
+real simulation.
+
+Event kinds and fields
+----------------------
+``spill``         ``src``, ``dst``, ``set``, ``addr`` — a last-copy
+                  victim moved to a receiver set in a peer cache.
+``swap``          same fields — the victim took the slot a migrating
+                  line freed (ASCC Section 3.2).
+``receive_flip``  ``cache``, ``set``, ``mode`` (``"capacity"`` or
+                  ``"mru"``) — a set group's insertion policy flipped.
+``regrain``       ``cache``, ``old_d``, ``new_d``, ``counters`` — AVGCC
+                  changed a cache's counter granularity.
+``qos_throttle``  ``cache``, ``ratio``, ``previous`` — the QoS ratio
+                  (the SSL miss increment) changed.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, Optional
+
+from repro.obs.observer import Observer
+
+#: Default ring capacity: enough for every event of a laptop-sized run.
+DEFAULT_CAPACITY = 65_536
+
+#: The event kinds the instrumented simulator emits today.  ``emit``
+#: accepts unknown kinds (forward compatibility), but CLI filters
+#: validate against this list so typos fail loudly.
+KNOWN_KINDS = ("spill", "swap", "receive_flip", "regrain", "qos_throttle")
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One typed event: a global sequence number, a kind, its fields."""
+
+    seq: int
+    kind: str
+    data: dict
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "kind": self.kind, **self.data}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+class EventTracer(Observer):
+    """Observer recording typed events in a bounded ring buffer.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size; the oldest events are dropped (and counted in
+        :attr:`dropped`) once the run emits more than this.
+    kinds:
+        Optional whitelist: only these event kinds are recorded.  Kinds
+        outside the filter still advance the sequence number, so ``seq``
+        gaps in the export reveal how much was filtered out.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.emitted = 0
+        self.recorded = 0
+
+    # -- Observer hooks ------------------------------------------------- #
+
+    def emit(self, kind: str, **data) -> None:
+        self.emitted += 1
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.recorded += 1
+        self.events.append(TraceEvent(self.emitted, kind, data))
+
+    # -- reading -------------------------------------------------------- #
+
+    @property
+    def dropped(self) -> int:
+        """Events recorded but pushed out of the full ring."""
+        return self.recorded - len(self.events)
+
+    def counts(self) -> dict[str, int]:
+        """Recorded (still-buffered) events per kind."""
+        return dict(Counter(event.kind for event in self.events))
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- export --------------------------------------------------------- #
+
+    def write_jsonl(self, stream: IO[str]) -> int:
+        """Write one JSON object per line; returns the line count."""
+        count = 0
+        for event in self.events:
+            stream.write(event.to_json())
+            stream.write("\n")
+            count += 1
+        return count
+
+    def to_jsonl(self) -> str:
+        return "".join(f"{event.to_json()}\n" for event in self.events)

@@ -1,0 +1,113 @@
+"""Prometheus-style text export for run reports.
+
+Renders a :class:`~repro.experiments.supervision.RunReport` in the
+Prometheus text exposition format (``# HELP`` / ``# TYPE`` comments plus
+``name{labels} value`` lines), so a cron-driven experiment campaign can
+drop a ``.prom`` file for a node-exporter textfile collector — or a
+human can grep one run's utilization without parsing JSON.
+
+Only the stdlib is used; nothing here talks to a network.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable
+
+_PREFIX = "repro"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _labels(**labels: object) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_escape(str(val))}"' for key, val in labels.items())
+    return "{" + inner + "}"
+
+
+def _metric(lines: list, name: str, kind: str, help_text: str) -> None:
+    lines.append(f"# HELP {_PREFIX}_{name} {help_text}")
+    lines.append(f"# TYPE {_PREFIX}_{name} {kind}")
+
+
+def _sample(lines: list, name: str, value: object, **labels: object) -> None:
+    lines.append(f"{_PREFIX}_{name}{_labels(**labels)} {_format(value)}")
+
+
+def _format(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def report_to_prometheus(report, per_cell: bool = True) -> str:
+    """Render a :class:`RunReport` as Prometheus exposition text.
+
+    ``per_cell=False`` drops the per-cell series (useful when a huge
+    sweep would make the scrape page unwieldy); the run-level metrics
+    are always present.
+    """
+    lines: list = []
+    counts = report.counts
+
+    _metric(lines, "run_cells", "gauge", "Cells in the sweep, by outcome source.")
+    _sample(lines, "run_cells", counts["total"], outcome="total")
+    for outcome in ("memory", "cache", "simulated", "failed", "pending"):
+        _sample(lines, "run_cells", counts[outcome], outcome=outcome)
+
+    _metric(lines, "run_attempts_total", "counter", "Simulation attempts charged.")
+    _sample(lines, "run_attempts_total", report.total_attempts)
+    _metric(lines, "run_retries_total", "counter", "Attempts that were retries.")
+    _sample(lines, "run_retries_total", report.retried)
+    _metric(lines, "run_timeouts_total", "counter", "Cells killed by the per-cell timeout.")
+    _sample(lines, "run_timeouts_total", report.timeouts)
+    _metric(lines, "run_pool_deaths_total", "counter", "Worker-pool respawns after hard deaths.")
+    _sample(lines, "run_pool_deaths_total", report.pool_deaths)
+    _metric(lines, "run_degraded_serial", "gauge", "1 if the sweep finished in-process.")
+    _sample(lines, "run_degraded_serial", report.degraded_serial)
+    _metric(lines, "run_interrupted", "gauge", "1 if the sweep was interrupted.")
+    _sample(lines, "run_interrupted", report.interrupted)
+
+    _metric(lines, "run_wall_seconds", "gauge", "Wall-clock duration of the sweep.")
+    _sample(lines, "run_wall_seconds", report.elapsed)
+    _metric(lines, "run_busy_seconds", "gauge", "Summed simulation time across workers.")
+    _sample(lines, "run_busy_seconds", report.busy_seconds)
+    _metric(lines, "run_queue_seconds", "gauge", "Summed cell queue latency (ready to submitted).")
+    _sample(lines, "run_queue_seconds", report.queue_seconds)
+    _metric(lines, "run_worker_utilization", "gauge", "busy_seconds / (wall * workers).")
+    _sample(lines, "run_worker_utilization", report.worker_utilization)
+
+    _metric(lines, "result_cache_lookups_total", "counter", "Disk result-cache lookups, by result.")
+    _sample(lines, "result_cache_lookups_total", report.cache_hits, result="hit")
+    _sample(lines, "result_cache_lookups_total", report.cache_misses, result="miss")
+    _metric(lines, "result_cache_quarantined_total", "counter", "Corrupt cache entries quarantined.")
+    _sample(lines, "result_cache_quarantined_total", report.cache_quarantined)
+    _metric(lines, "result_cache_hit_ratio", "gauge", "Disk-cache hit ratio for this run.")
+    _sample(lines, "result_cache_hit_ratio", report.cache_hit_ratio)
+
+    if per_cell and report.records:
+        _metric(lines, "cell_seconds", "gauge", "Simulation wall time per cell.")
+        for rec in report.records.values():
+            codes, scheme = rec.cell
+            mix = "+".join(str(c) for c in codes)
+            _sample(lines, "cell_seconds", rec.duration, mix=mix, scheme=scheme)
+        _metric(lines, "cell_queue_seconds", "gauge", "Queue latency per cell.")
+        for rec in report.records.values():
+            codes, scheme = rec.cell
+            mix = "+".join(str(c) for c in codes)
+            _sample(lines, "cell_queue_seconds", rec.queue_seconds, mix=mix, scheme=scheme)
+        _metric(lines, "cell_attempts", "gauge", "Attempts charged per cell.")
+        for rec in report.records.values():
+            codes, scheme = rec.cell
+            mix = "+".join(str(c) for c in codes)
+            _sample(lines, "cell_attempts", rec.attempts, mix=mix, scheme=scheme)
+
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(report, stream: IO[str], per_cell: bool = True) -> None:
+    stream.write(report_to_prometheus(report, per_cell=per_cell))

@@ -1,0 +1,100 @@
+"""The Observer hook contract: zero-cost-when-off instrumentation.
+
+An :class:`Observer` is the single object through which the simulation
+exposes its internal dynamics — interval samples from the engine, typed
+events from the hierarchy and policies.  The contract that keeps the
+simulator honest:
+
+* **Observers never write.**  Every callback receives read access to
+  simulator state (or plain values) and must not mutate it; the
+  simulation's behaviour with an observer attached is bit-identical to a
+  bare run.  ``tests/test_golden_digests.py`` and
+  ``benchmarks/perf/test_obs_overhead.py`` enforce this.
+* **The disabled path is free.**  With no observer attached the engine's
+  per-record work is unchanged: interval sampling rides the *existing*
+  instruction-threshold compare (the sampling deadline folds into
+  ``min(state_threshold, next_sample)``, and with no observer
+  ``next_sample`` is ``inf`` forever), and every event-emission site
+  guards on ``observer is not None`` in code paths that already do
+  orders of magnitude more work (spills, ticks, mode flips) — never in
+  the per-access hot loop.
+
+Callbacks
+---------
+``bind(hierarchy, workloads)``
+    Called once by the engine before the run starts.
+``on_phase(core_id, phase, instructions, cycles)``
+    The core crossed a lifecycle boundary: ``"measure"`` (warmup done,
+    statistics now live) or ``"done"`` (quota reached, statistics
+    frozen).  ``instructions``/``cycles`` are the core's cumulative
+    committed instructions and cycles (warmup included).
+``on_sample(core_id, instructions, cycles)``
+    Fired every :attr:`interval` committed instructions while the core's
+    statistics are live (``interval = 0`` disables sampling).
+``emit(kind, **data)``
+    A typed event happened (``spill``, ``swap``, ``receive_flip``,
+    ``regrain``, ``qos_throttle``); ``data`` holds the event's fields.
+``finish()``
+    The run completed; flush any pending state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class Observer:
+    """Base observer: every hook is a no-op; subclasses override some."""
+
+    #: Committed instructions between ``on_sample`` calls (0 = never).
+    interval: int = 0
+
+    def bind(self, hierarchy, workloads) -> None:
+        """The engine is about to run ``workloads`` over ``hierarchy``."""
+
+    def on_phase(self, core_id: int, phase: str, instructions: int, cycles: float) -> None:
+        """A core crossed a lifecycle boundary (``measure`` or ``done``)."""
+
+    def on_sample(self, core_id: int, instructions: int, cycles: float) -> None:
+        """An interval elapsed on a core whose statistics are live."""
+
+    def emit(self, kind: str, **data) -> None:
+        """A typed event occurred somewhere in the hierarchy or policy."""
+
+    def finish(self) -> None:
+        """The run is over."""
+
+
+class CompositeObserver(Observer):
+    """Fan every hook out to several observers.
+
+    The engine samples at one cadence per run, so the composite's
+    :attr:`interval` is the finest (smallest non-zero) child interval;
+    children that declared a coarser interval still see every sample and
+    may subsample.
+    """
+
+    def __init__(self, observers: Iterable[Observer]) -> None:
+        self.observers = list(observers)
+        intervals = [o.interval for o in self.observers if o.interval > 0]
+        self.interval = min(intervals) if intervals else 0
+
+    def bind(self, hierarchy, workloads) -> None:
+        for obs in self.observers:
+            obs.bind(hierarchy, workloads)
+
+    def on_phase(self, core_id: int, phase: str, instructions: int, cycles: float) -> None:
+        for obs in self.observers:
+            obs.on_phase(core_id, phase, instructions, cycles)
+
+    def on_sample(self, core_id: int, instructions: int, cycles: float) -> None:
+        for obs in self.observers:
+            obs.on_sample(core_id, instructions, cycles)
+
+    def emit(self, kind: str, **data) -> None:
+        for obs in self.observers:
+            obs.emit(kind, **data)
+
+    def finish(self) -> None:
+        for obs in self.observers:
+            obs.finish()

@@ -39,6 +39,12 @@ class LLCPolicy(abc.ABC):
     #: Human-readable scheme name (used by the registry and reports).
     name: str = "abstract"
 
+    #: Optional :class:`~repro.obs.observer.Observer` for typed events
+    #: (receive-flips, re-grains, QoS throttles).  A class-level ``None``
+    #: keeps the emission sites on their zero-cost branch; the engine
+    #: sets the instance attribute when an observer is attached.
+    observer = None
+
     #: May a line that was already spilled once be spilled again?  ASCC
     #: allows it (the receiver's low SSL makes repeats unlikely anyway);
     #: CC/DSR/ECC give each line a single chance to stay on chip.

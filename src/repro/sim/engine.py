@@ -16,6 +16,13 @@ Following the paper's methodology, each core first warms the caches
 statistics, and then *keeps running* (its trace restarts if exhausted)
 until the last core reaches its quota, "in order to keep competing for the
 cache resources".
+
+An optional :class:`~repro.obs.observer.Observer` taps the run without
+touching the hot loop: its sampling deadline folds into the *existing*
+per-record threshold compare (``threshold = min(state_threshold,
+next_sample)``), so with no observer — ``next_sample`` stays infinite —
+the per-record work is exactly what it was before instrumentation, and
+the interleaving (hence every counter) is bit-identical.
 """
 
 from __future__ import annotations
@@ -69,6 +76,8 @@ class _CoreRun:
         "l1_access",
         "buf",
         "threshold",
+        "state_threshold",
+        "next_sample",
     )
 
     def __init__(
@@ -90,7 +99,12 @@ class _CoreRun:
         self.buf: Iterator[TraceRecord] = iter(())
         #: Next instruction count at which a state transition can happen:
         #: first the end of warmup, then the quota, then never again.
-        self.threshold: float = warmup if warmup else quota
+        self.state_threshold: float = warmup if warmup else quota
+        #: Next observer sampling point; ``inf`` unless an observer with
+        #: a sampling interval is attached (set by the engine).
+        self.next_sample: float = float("inf")
+        #: The per-record compare point: min(state_threshold, next_sample).
+        self.threshold: float = self.state_threshold
 
 
 class Engine:
@@ -103,6 +117,7 @@ class Engine:
         quota: int,
         seed: int,
         warmup: int = 0,
+        observer=None,
     ) -> None:
         if not workloads:
             raise ValueError("need at least one workload")
@@ -118,6 +133,25 @@ class Engine:
             core.l1_access = hierarchy.l1s[core.core_id].access
         self._offset_bits = hierarchy.l1s[0].geometry.offset_bits
         self._warming = warmup > 0
+        self.observer = observer
+        self._sample_interval = 0
+        if observer is not None:
+            # Wire the observer into every layer that emits: the
+            # hierarchy (spill/swap events), the policy (mode flips,
+            # re-grains, throttles) and the engine itself (samples).
+            hierarchy.observer = observer
+            policy = getattr(hierarchy, "policy", None)
+            if policy is not None:
+                policy.observer = observer
+            observer.bind(hierarchy, workloads)
+            self._sample_interval = int(getattr(observer, "interval", 0) or 0)
+            if self._sample_interval > 0:
+                for core in self.cores:
+                    if core.warmed:  # no warmup: sampling starts at once
+                        core.next_sample = self._sample_interval
+                        core.threshold = min(
+                            core.state_threshold, core.next_sample
+                        )
         if warmup:
             for stats in hierarchy.stats:  # type: ignore[attr-defined]
                 stats.recording = False
@@ -134,6 +168,8 @@ class Engine:
         offset_bits = self._offset_bits
         l1s = hierarchy.l1s
         remaining = len(cores)
+        observer = self.observer
+        sample_interval = self._sample_interval
 
         # Scheduler state: the heap holds one (cycles, core_id) entry per
         # core EXCEPT the one currently executing.  After each record the
@@ -207,22 +243,53 @@ class Engine:
                 cycles += latency / mlp
 
             if instructions >= threshold:
-                if not core.warmed:
-                    core.warmed = True
-                    core.cycle_offset = cycles
-                    core_stats.recording = recording = True
-                    core.threshold = threshold = core.warmup + core.quota
-                    if self._warming and all(c.warmed for c in cores):
-                        self._warming = False
-                        policy = getattr(hierarchy, "policy", None)
-                        if policy is not None:
-                            policy.end_warmup()
-                elif not core.done:
-                    core.done = True
-                    core_stats.cycles = cycles - core.cycle_offset
-                    core_stats.recording = recording = False
-                    core.threshold = threshold = float("inf")
-                    remaining -= 1
+                if instructions >= core.state_threshold:
+                    if not core.warmed:
+                        core.warmed = True
+                        core.cycle_offset = cycles
+                        core_stats.recording = recording = True
+                        core.state_threshold = core.warmup + core.quota
+                        if observer is not None:
+                            observer.on_phase(
+                                core_id, "measure", instructions, cycles
+                            )
+                            if sample_interval:
+                                core.next_sample = (
+                                    instructions + sample_interval
+                                )
+                        if self._warming and all(c.warmed for c in cores):
+                            self._warming = False
+                            policy = getattr(hierarchy, "policy", None)
+                            if policy is not None:
+                                policy.end_warmup()
+                    elif not core.done:
+                        core.done = True
+                        core_stats.cycles = cycles - core.cycle_offset
+                        core_stats.recording = recording = False
+                        core.state_threshold = float("inf")
+                        core.next_sample = float("inf")
+                        remaining -= 1
+                        if observer is not None:
+                            core.cycles = cycles
+                            core.instructions = instructions
+                            observer.on_phase(
+                                core_id, "done", instructions, cycles
+                            )
+                elif instructions >= core.next_sample:
+                    core.cycles = cycles
+                    core.instructions = instructions
+                    observer.on_sample(core_id, instructions, cycles)
+                    next_sample = core.next_sample + sample_interval
+                    while next_sample <= instructions:  # a gap spanned >1
+                        next_sample += sample_interval
+                    core.next_sample = next_sample
+                # With no observer next_sample is inf, so this is the old
+                # state threshold and the compare sequence is unchanged.
+                core.threshold = threshold = (
+                    core.state_threshold
+                    if core.state_threshold <= core.next_sample
+                    else core.next_sample
+                )
 
             if multi:
                 entry = (cycles, core_id)
@@ -248,3 +315,5 @@ class Engine:
 
         core.cycles = cycles
         core.instructions = instructions
+        if observer is not None:
+            observer.finish()

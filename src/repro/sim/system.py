@@ -49,6 +49,11 @@ class MemoryHierarchy(abc.ABC):
 
     l1s: list[L1Cache]
 
+    #: Optional :class:`~repro.obs.observer.Observer` receiving typed
+    #: events (spill/swap/...).  ``None`` keeps every emission site on
+    #: its zero-cost branch; the engine sets this when one is attached.
+    observer = None
+
     @abc.abstractmethod
     def access(self, core_id: int, line_addr: int, is_write: bool, pc: int) -> float:
         """Handle an L1-missing access; return its latency in cycles."""
@@ -323,6 +328,15 @@ class PrivateHierarchy(MemoryHierarchy):
             if dst_stats.recording:
                 dst_stats.spills_in += 1
             policy.on_spill(src, dst, set_idx)
+        observer = self.observer
+        if observer is not None:
+            observer.emit(
+                "swap" if swap else "spill",
+                src=src,
+                dst=dst,
+                set=set_idx,
+                addr=victim.addr,
+            )
 
     # ------------------------------------------------------------------ #
     # Coherence helpers

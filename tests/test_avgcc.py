@@ -37,7 +37,7 @@ def test_halves_when_pairs_similar():
     for s in (0, 8):
         for _ in range(3):
             bank.on_miss(s)  # both at 10: |diff| = 0, >= K, no duplication
-    p._adjust(bank)
+    p._adjust(0, bank)
     assert bank.counters_in_use == 1
 
 
@@ -49,7 +49,7 @@ def test_no_halving_when_policies_differ():
         for _ in range(3):
             bank.on_miss(s)
     bank.enter_capacity_mode(0)
-    p._adjust(bank)
+    p._adjust(0, bank)
     assert bank.counters_in_use == 2
 
 

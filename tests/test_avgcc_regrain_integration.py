@@ -32,7 +32,7 @@ def test_mixed_pressure_blocks_halving():
         for s in range(4):
             p.on_access(0, s, "miss")
     before = bank.counters_in_use
-    p._adjust(bank)
+    p._adjust(0, bank)
     # |15 - 0| > 2: the halving condition fails; only duplication applies.
     assert bank.counters_in_use >= before
 

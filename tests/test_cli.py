@@ -36,9 +36,50 @@ def test_bad_mix_rejected():
         _parse_mix("abc")
 
 
-def test_unknown_experiment_rejected():
+@pytest.mark.parametrize("text", ["", "   ", "471+", "+444", "471++444"])
+def test_empty_mix_components_get_usage_message(text):
+    with pytest.raises(SystemExit) as excinfo:
+        _parse_mix(text)
+    assert "expected '+'-separated SPEC codes like 471+444" in str(excinfo.value)
+
+
+def test_non_numeric_mix_names_the_bad_part():
+    with pytest.raises(SystemExit) as excinfo:
+        _parse_mix("abc+444")
+    message = str(excinfo.value)
+    assert "'abc' is not a number" in message
+    assert "471+444" in message  # shows the expected shape
+
+
+def test_unknown_benchmark_code_lists_available_codes():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--mix", "471+999"])
+    message = str(excinfo.value)
+    assert "unknown benchmark code(s) 999" in message
+    # The full SPEC roster is offered, not just a refusal.
+    assert "471" in message and "444" in message and "482" in message
+
+
+def test_bad_mix_via_main_has_no_traceback(capsys):
     with pytest.raises(SystemExit):
+        main(["stats", "--mix", "471+oops"])
+    assert "Traceback" not in capsys.readouterr().err
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit) as excinfo:
         main(["experiment", "fig99"])
+    message = str(excinfo.value)
+    assert "unknown experiment 'fig99'" in message
+    assert "fig8" in message and "tab5" in message  # lists what exists
+
+
+def test_unknown_trace_event_kind_lists_known_kinds():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["trace", "--mix", "471+444", "--events", "spill,warp"])
+    message = str(excinfo.value)
+    assert "unknown kind(s) warp" in message
+    assert "regrain" in message and "qos_throttle" in message
 
 
 def test_unknown_scheme_exits_with_available_list(capsys):
@@ -90,6 +131,38 @@ def test_run_writes_report_when_asked(tmp_path, capsys):
     data = json.loads(report.read_text())
     assert data["counts"]["simulated"] == data["counts"]["total"]
     assert data["interrupted"] is False
+
+
+def test_stats_command_prints_interval_series(tmp_path, capsys):
+    dump = tmp_path / "series.json"
+    code = main(["stats", "--mix", "471+444", "--scheme", "avgcc",
+                 "--quota", "4000", "--warmup", "1000",
+                 "--interval", "1000", "--json", str(dump)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "core0 (471.omnetpp)" in out and "core1 (444.namd)" in out
+    assert "mpki" in out and "r/n/s" in out
+    assert "final set roles:" in out
+    import json
+
+    payload = json.loads(dump.read_text())
+    assert payload["interval"] == 1000 and payload["samples"]
+
+
+def test_trace_command_emits_jsonl(tmp_path, capsys):
+    out_path = tmp_path / "events.jsonl"
+    code = main(["trace", "--mix", "471+444", "--scheme", "ascc",
+                 "--quota", "4000", "--warmup", "1000",
+                 "--events", "spill,swap", "--output", str(out_path)])
+    assert code == 0
+    import json
+
+    lines = out_path.read_text().splitlines()
+    assert lines
+    kinds = {json.loads(line)["kind"] for line in lines}
+    assert kinds <= {"spill", "swap"}
+    # The summary goes to stderr, keeping stdout/file purely JSONL.
+    assert "emitted" in capsys.readouterr().err
 
 
 def test_chaos_env_knob_injects_and_recovers(tmp_path, capsys, monkeypatch):

@@ -1,0 +1,195 @@
+"""Pipeline profiling: RunReport timing/cache fields + Prometheus export."""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import ParallelRunner, ResultCache, make_runner
+from repro.experiments.supervision import RunReport, Supervisor
+from repro.obs.metrics import report_to_prometheus
+from repro.sim.results import SystemResult
+
+MIX = (444, 445)
+
+
+def tiny_runner(tmp_path, **kwargs):
+    kwargs.setdefault("cache_dir", tmp_path / "cells")
+    return ParallelRunner(quota=2_000, warmup=1_000, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# RunReport fields
+# --------------------------------------------------------------------- #
+
+
+def test_report_version_bumped_for_new_fields():
+    assert RunReport.VERSION == 2
+
+
+def test_timing_fields_accumulate():
+    report = RunReport(config={"jobs": 2})
+    cell_a, cell_b = ((MIX, "avgcc")), ((MIX, "baseline"))
+    report.mark_ok(cell_a, 1.5)
+    report.mark_ok(cell_b, 0.5)
+    report.record(cell_a).queue_seconds += 0.25
+    assert report.busy_seconds == pytest.approx(2.0)
+    assert report.queue_seconds == pytest.approx(0.25)
+    assert report.elapsed >= 0.0
+    report.finalize()
+    frozen = report.elapsed
+    assert report.elapsed == frozen  # finalize pins the wall clock
+    expected = 2.0 / (frozen * 2) if frozen else 0.0
+    assert report.worker_utilization == pytest.approx(expected)
+
+
+def test_cache_hit_ratio():
+    report = RunReport()
+    assert report.cache_hit_ratio == 0.0
+    report.cache_hits, report.cache_misses = 3, 1
+    assert report.cache_hit_ratio == pytest.approx(0.75)
+
+
+def test_to_dict_carries_timing_and_cache_sections():
+    report = RunReport(config={"jobs": 1})
+    report.mark_ok((MIX, "avgcc"), 0.75)
+    report.cache_hits = 2
+    report.finalize()
+    payload = report.to_dict()
+    assert payload["version"] == 2
+    assert payload["timing"]["busy_seconds"] == pytest.approx(0.75)
+    assert payload["timing"]["elapsed"] >= 0
+    assert payload["cache"] == {
+        "hits": 2,
+        "misses": 0,
+        "quarantined": 0,
+        "hit_ratio": 1.0,
+    }
+    assert payload["cells"][0]["queue_seconds"] == 0.0
+    # And it is still JSON-serialisable end to end.
+    json.dumps(payload)
+
+
+def test_supervisor_charges_queue_latency():
+    def worker(payload):
+        return payload["cell"], payload["cell"]
+
+    report = RunReport()
+    sup = Supervisor(worker, lambda cell: {"cell": cell}, jobs=1, report=report)
+    sup.run([("a",), ("b",)])
+    for rec in report.records.values():
+        assert rec.queue_seconds >= 0.0
+    assert report.queue_seconds >= 0.0
+
+
+# --------------------------------------------------------------------- #
+# Prometheus rendering
+# --------------------------------------------------------------------- #
+
+
+def test_prometheus_exposition_shape():
+    report = RunReport(config={"jobs": 4})
+    report.mark_hit((MIX, "baseline"), "cache")
+    report.mark_ok((MIX, "avgcc"), 1.25)
+    report.record((MIX, "avgcc")).attempts = 2
+    report.cache_hits, report.cache_misses = 1, 1
+    report.finalize()
+    text = report.to_prometheus()
+    lines = text.splitlines()
+    assert text.endswith("\n")
+    # Every sample line is preceded by HELP/TYPE for its metric family.
+    assert 'repro_run_cells{outcome="cache"} 1' in lines
+    assert 'repro_run_cells{outcome="simulated"} 1' in lines
+    assert "# TYPE repro_run_wall_seconds gauge" in lines
+    assert 'repro_result_cache_lookups_total{result="hit"} 1' in lines
+    assert 'repro_result_cache_lookups_total{result="miss"} 1' in lines
+    assert "repro_result_cache_hit_ratio 0.5" in lines
+    assert 'repro_cell_seconds{mix="444+445",scheme="avgcc"} 1.25' in lines
+    assert 'repro_cell_attempts{mix="444+445",scheme="avgcc"} 2' in lines
+    assert any(line.startswith("repro_run_worker_utilization ") for line in lines)
+
+
+def test_prometheus_per_cell_suppression():
+    report = RunReport()
+    report.mark_ok((MIX, "avgcc"), 1.0)
+    report.finalize()
+    assert "repro_cell_seconds" in report.to_prometheus()
+    assert "repro_cell_seconds" not in report_to_prometheus(report, per_cell=False)
+
+
+# --------------------------------------------------------------------- #
+# ResultCache lookup counters
+# --------------------------------------------------------------------- #
+
+
+def test_result_cache_counts_hits_and_misses(tmp_path):
+    cache = ResultCache(tmp_path)
+    result = SystemResult(scheme="s", workload="w")
+    assert cache.get("ab" * 32) is None
+    assert (cache.hits, cache.misses) == (0, 1)
+    cache.put("ab" * 32, result)
+    assert cache.get("ab" * 32) is not None
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_result_cache_corruption_counts_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    result = SystemResult(scheme="s", workload="w")
+    key = "cd" * 32
+    cache.put(key, result)
+    path = cache._path(key)
+    path.write_bytes(path.read_bytes()[:-7])  # truncate: checksum fails
+    assert cache.get(key) is None
+    assert cache.misses == 1 and cache.quarantined == 1
+
+
+# --------------------------------------------------------------------- #
+# End-to-end: prewarm fills the new fields, --metrics lands on disk
+# --------------------------------------------------------------------- #
+
+
+def test_prewarm_reports_cache_traffic_and_metrics(tmp_path):
+    metrics = tmp_path / "run.prom"
+    runner = tiny_runner(tmp_path, metrics_path=metrics)
+    report = runner.prewarm([MIX], ["baseline"])
+    # Fresh cache: every wanted cell was looked up and missed.
+    assert report.cache_hits == 0
+    assert report.cache_misses == report.counts["simulated"] > 0
+    assert report.busy_seconds > 0.0
+    assert metrics.exists()
+    text = metrics.read_text()
+    assert 'repro_result_cache_lookups_total{result="miss"}' in text
+
+    # Second runner, same cache: all hits, ratio 1, metrics rewritten.
+    runner2 = tiny_runner(tmp_path, metrics_path=metrics)
+    report2 = runner2.prewarm([MIX], ["baseline"])
+    assert report2.cache_misses == 0
+    assert report2.cache_hits == report2.counts["cache"] > 0
+    assert report2.cache_hit_ratio == 1.0
+    assert "repro_result_cache_hit_ratio 1.0" in metrics.read_text()
+
+    # The JSON manifest carries the same cache section.
+    manifest = json.loads((tmp_path / "cells" / "run_report.json").read_text())
+    assert manifest["cache"]["hit_ratio"] == 1.0
+
+
+def test_make_runner_metrics_flag_selects_parallel_runner(tmp_path):
+    runner = make_runner(metrics_path=tmp_path / "m.prom")
+    assert isinstance(runner, ParallelRunner)
+
+
+def test_cli_metrics_flag_writes_prometheus(tmp_path, capsys):
+    from repro.cli import main
+
+    metrics = tmp_path / "cli.prom"
+    code = main(
+        [
+            "run",
+            "--mix", "444+445",
+            "--scheme", "baseline",
+            "--quota", "2000",
+            "--warmup", "1000",
+            "--metrics", str(metrics),
+        ]
+    )
+    assert code == 0
+    assert "repro_run_cells" in metrics.read_text()
