@@ -9,14 +9,19 @@ benchmark harness regenerating every table and figure.
 
 Quick start::
 
-    from repro import run_mix
+    from repro import RunSpec, run_mix
 
-    outcome = run_mix((471, 444), scheme="avgcc")
+    outcome = run_mix(RunSpec(mix=(471, 444), scheme="avgcc"))
     print(outcome.speedup_improvement)
 
-See ``examples/quickstart.py`` for the longer tour.
+:class:`RunSpec` is the canonical request object (see ``repro.api``);
+:class:`Session` answers specs with shared orchestration knobs, and
+``repro.service`` schedules whole batches asynchronously.  See
+``examples/quickstart.py`` for the longer tour.
 """
 
+from repro.api.session import Session
+from repro.api.spec import RunSpec, SpecError, spec_grid
 from repro.experiments.runner import ExperimentRunner, MixOutcome, run_mix
 from repro.policies.registry import available_schemes, make_policy
 from repro.sim.config import ScaleModel, SystemConfig, default_config
@@ -34,8 +39,11 @@ __all__ = [
     "MIX4",
     "MixOutcome",
     "PrivateHierarchy",
+    "RunSpec",
     "ScaleModel",
+    "Session",
     "SharedHierarchy",
+    "SpecError",
     "SystemConfig",
     "SystemResult",
     "available_schemes",
@@ -44,5 +52,6 @@ __all__ = [
     "make_workloads",
     "mix_name",
     "run_mix",
+    "spec_grid",
     "__version__",
 ]

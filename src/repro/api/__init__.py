@@ -1,0 +1,49 @@
+"""``repro.api`` — the stable public surface of the simulation stack.
+
+Two ideas:
+
+* :class:`RunSpec` — a frozen, validated, content-addressed description
+  of one simulation (mix, scheme, quota, warmup, seed, scale, ...).
+  Build one, reuse it everywhere: runners, the batch service, the CLI
+  and the cache all speak RunSpec.
+* :class:`Session` — the façade that answers specs: single results,
+  normalised outcomes, prewarmed batches, telemetry and traces, with
+  the orchestration knobs (workers, disk cache, timeouts) given once.
+
+Batch/async execution on top of these lives in :mod:`repro.service`.
+API stability: the names exported here follow the package version —
+additive changes freely, breaking changes only with a major bump and a
+deprecation cycle (see DESIGN.md §11).
+"""
+
+from repro.api.spec import (
+    CACHE_FORMAT_VERSION,
+    RunSpec,
+    SpecError,
+    parse_mix,
+    spec_grid,
+)
+
+#: Session wraps the experiment runners, which themselves speak RunSpec:
+#: importing it eagerly here would make ``repro.api.spec`` (imported by
+#: the runner module) circular.  Resolve the session-side names lazily.
+_SESSION_EXPORTS = ("Session", "result_digest", "result_summary")
+
+
+def __getattr__(name: str):
+    if name in _SESSION_EXPORTS:
+        from repro.api import session
+
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "RunSpec",
+    "Session",
+    "SpecError",
+    "parse_mix",
+    "result_digest",
+    "result_summary",
+    "spec_grid",
+]

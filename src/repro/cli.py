@@ -32,7 +32,29 @@ Commands
 
         python -m repro.cli trace --mix 471+444 --events spill,swap
 
-``run``, ``experiment`` and ``calibrate`` accept ``--jobs N`` (simulate
+``batch``
+    Execute a file (or stdin) of JSON simulation specs as one
+    deduplicated, prioritised batch through the
+    :mod:`repro.service` scheduler::
+
+        python -m repro.cli batch specs.json --jobs 4 --cache-dir .cells
+
+``serve``
+    Run the batch scheduler as a service: JSON-per-line requests on
+    stdin with results streamed to stdout in completion order, or
+    (``--http [PORT]``) a loopback HTTP endpoint with ``POST /batch``,
+    ``GET /metrics`` and ``GET /healthz``::
+
+        printf '{"mix": "471+444"}\n' | python -m repro.cli serve
+
+Simulation parameters (``--mix``, ``--scheme``, ``--quota``,
+``--warmup``, ``--seed``) describe a :class:`repro.api.RunSpec`; each
+command builds one spec and validates it through
+:meth:`RunSpec.validate`, so every front-end rejects the same boundary
+values with the same message.
+
+``run``, ``experiment``, ``batch``, ``serve`` and ``calibrate`` accept
+``--jobs N`` (simulate
 independent cells across N worker processes), ``--cache-dir DIR``
 (content-addressed on-disk result cache reused across invocations),
 ``--timeout SECONDS`` (per-cell wall-clock limit; a hung worker is
@@ -52,9 +74,11 @@ chaos runs; see :mod:`repro.experiments.faults`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable
+from typing import Callable, Mapping
 
+from repro.api.spec import RunSpec, SpecError, _check_codes, parse_mix
 from repro.experiments import (
     fig1_ways,
     fig2_sets,
@@ -76,11 +100,9 @@ from repro.experiments import (
     tab5_cost,
 )
 from repro.experiments.parallel import make_runner
-from repro.experiments.runner import SHARED_SCHEME
 from repro.experiments.supervision import SupervisionError
-from repro.policies.registry import available_schemes, make_policy
+from repro.policies.registry import available_schemes
 from repro.workloads.mixes import MIX2, MIX4, mix_name
-from repro.workloads.spec2006 import all_codes
 
 #: Experiment name -> (run, format) pair.  Entries taking a runner get one.
 _EXPERIMENTS: dict[str, tuple[Callable, Callable, bool]] = {
@@ -124,49 +146,67 @@ def _cmd_mixes(_: argparse.Namespace) -> int:
     return 0
 
 
+def _spec_error(message: str) -> SystemExit:
+    """A :class:`SystemExit` that prints once and still carries its text.
+
+    The message goes to stderr here; the returned exception exits with
+    status 1 *silently* (its ``code`` is the int, its ``str()`` the
+    message), so callers raising it never produce a duplicate line or a
+    traceback.
+    """
+    print(f"error: {message}", file=sys.stderr)
+    exc = SystemExit(message)
+    exc.code = 1
+    return exc
+
+
+#: Spec field -> the CLI flag that sets it, for validation messages.
+_FLAG_FOR_FIELD = {
+    "mix": "--mix",
+    "scheme": "--scheme",
+    "quota": "--quota",
+    "warmup": "--warmup",
+    "seed": "--seed",
+    "events": "--events",
+}
+
+
 def _parse_mix(text: str) -> tuple[int, ...]:
     """Parse ``471+444`` into benchmark codes, failing with usable messages.
 
-    Every malformed shape — empty mix, empty component (``471+``),
-    non-numeric parts, unknown SPEC codes — exits with a message naming
-    the offending piece and what would have been accepted, never a
-    traceback.
+    A thin exit-code shim over :func:`repro.api.parse_mix` — the single
+    parser/validator for mix strings — kept so scripts (and tests) that
+    used the CLI helper directly keep working.
     """
-    parts = text.split("+")
-    if not text.strip() or any(not part.strip() for part in parts):
-        raise SystemExit(
-            f"bad mix {text!r}: expected '+'-separated SPEC codes like 471+444"
-        )
-    codes = []
-    for part in parts:
-        try:
-            codes.append(int(part))
-        except ValueError:
-            raise SystemExit(
-                f"bad mix {text!r}: {part.strip()!r} is not a number; "
-                f"expected SPEC codes like 471+444"
-            ) from None
-    known = all_codes()
-    unknown = [code for code in codes if code not in known]
-    if unknown:
-        raise SystemExit(
-            f"bad mix {text!r}: unknown benchmark code(s) "
-            f"{', '.join(str(c) for c in unknown)}; available: "
-            f"{', '.join(str(c) for c in known)}"
-        )
-    return tuple(codes)
-
-
-def _validate_scheme(name: str) -> None:
-    """Exit with the available-schemes list instead of a raw KeyError."""
-    if name == SHARED_SCHEME:
-        return
     try:
-        make_policy(name)
-    except KeyError as exc:
-        # Surface the registry's message (which lists the available
-        # schemes) without the raw-KeyError quoting or traceback.
-        raise SystemExit(str(exc.args[0])) from None
+        codes = parse_mix(text)
+        _check_codes(codes)
+        return codes
+    except SpecError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _spec_from_args(args: argparse.Namespace, **overrides) -> RunSpec:
+    """Build and validate the one :class:`RunSpec` a subcommand describes.
+
+    Every boundary check — mix shape, known codes, known scheme,
+    positive quota, non-negative warmup/seed, known event kinds — is
+    :meth:`RunSpec.validate`; this shim only maps the offending field
+    back to its flag so the exit message points at what to retype.
+    """
+    params = dict(
+        mix=args.mix,
+        scheme=args.scheme,
+        quota=args.quota,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    params.update(overrides)
+    try:
+        return RunSpec(**params).validate()
+    except SpecError as exc:
+        flag = _FLAG_FOR_FIELD.get(exc.field)
+        raise _spec_error(f"{flag}: {exc}" if flag else str(exc)) from None
 
 
 def _runner_flags(args: argparse.Namespace) -> dict:
@@ -181,20 +221,20 @@ def _runner_flags(args: argparse.Namespace) -> dict:
     )
 
 
+def _session(args: argparse.Namespace):
+    from repro.api.session import Session
+
+    return Session(**_runner_flags(args))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    mix = _parse_mix(args.mix)
-    _validate_scheme(args.scheme)
-    runner = make_runner(
-        **_runner_flags(args),
-        quota=args.quota,
-        warmup=args.warmup,
-        seed=args.seed,
-    )
-    runner.prewarm([mix], [args.scheme])
-    outcome = runner.outcome(mix, args.scheme)
+    spec = _spec_from_args(args)
+    session = _session(args)
+    session.prewarm([spec])
+    outcome = session.outcome(spec)
     result = outcome.result
     breakdown = result.access_breakdown()
-    print(f"mix {mix_name(mix)} under {args.scheme}:")
+    print(f"mix {mix_name(spec.mix)} under {spec.scheme}:")
     print(f"  weighted speedup improvement : {outcome.speedup_improvement:+.2%}")
     print(f"  fairness improvement         : {outcome.fairness_improvement:+.2%}")
     print(f"  AML reduction                : {outcome.aml_improvement:+.2%}")
@@ -246,20 +286,10 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import format_histogram, format_table
-    from repro.experiments.runner import simulate_mix
-    from repro.obs import IntervalRecorder
+    from repro.api.session import Session
 
-    mix = _parse_mix(args.mix)
-    _validate_scheme(args.scheme)
-    recorder = IntervalRecorder(interval=args.interval)
-    simulate_mix(
-        mix,
-        args.scheme,
-        quota=args.quota,
-        warmup=args.warmup,
-        seed=args.seed,
-        observer=recorder,
-    )
+    spec = _spec_from_args(args)
+    recorder = Session().stats(spec, interval=args.interval)
     if args.json is not None:
         from pathlib import Path
 
@@ -305,35 +335,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import simulate_mix
-    from repro.obs import EventTracer
-    from repro.obs.events import KNOWN_KINDS
+    from repro.api.session import Session
 
-    mix = _parse_mix(args.mix)
-    _validate_scheme(args.scheme)
     kinds = None
     if args.events is not None:
         kinds = tuple(k.strip() for k in args.events.split(",") if k.strip())
-        unknown = sorted(set(kinds) - set(KNOWN_KINDS))
-        if not kinds or unknown:
-            raise SystemExit(
-                f"bad --events {args.events!r}: "
-                + (
-                    f"unknown kind(s) {', '.join(unknown)}; "
-                    if unknown
-                    else "no kinds given; "
-                )
-                + f"known kinds: {', '.join(KNOWN_KINDS)}"
-            )
-    tracer = EventTracer(capacity=args.capacity, kinds=kinds)
-    simulate_mix(
-        mix,
-        args.scheme,
-        quota=args.quota,
-        warmup=args.warmup,
-        seed=args.seed,
-        observer=tracer,
-    )
+    spec = _spec_from_args(args, events=kinds)
+    tracer = Session().trace(spec, capacity=args.capacity)
     if args.output is not None:
         with open(args.output, "w") as stream:
             tracer.write_jsonl(stream)
@@ -346,6 +354,132 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _load_spec_entries(text: str, source: str) -> list:
+    """Spec entries from a batch file: a JSON array, ``{"specs": [...]}``
+    wrapper, or JSONL (one object per line, ``#`` comments allowed)."""
+    if not text.strip():
+        raise _spec_error(f"{source}: no specs found (empty input)")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        entries = [
+            json.loads(line)
+            for line in text.splitlines()
+            if line.strip() and not line.lstrip().startswith("#")
+        ]
+    else:
+        if isinstance(payload, dict):
+            entries = payload.get("specs", [payload])
+        else:
+            entries = payload
+    if not isinstance(entries, list) or not entries:
+        raise _spec_error(
+            f"{source}: expected a JSON array of spec objects "
+            f"(or JSONL, one spec per line)"
+        )
+    return entries
+
+
+def _parse_batch_specs(text: str, source: str) -> tuple[list, list]:
+    """``(specs, priorities)`` from batch-file text, validated."""
+    specs, priorities = [], []
+    for index, entry in enumerate(_load_spec_entries(text, source), start=1):
+        try:
+            if isinstance(entry, Mapping) and "spec" in entry:
+                spec = RunSpec.from_dict(entry["spec"]).validate()
+                priority = int(entry.get("priority", 0))
+            else:
+                spec = RunSpec.from_dict(entry).validate()
+                priority = 0
+        except (SpecError, TypeError, ValueError) as exc:
+            raise _spec_error(f"{source}: spec #{index}: {exc}") from None
+        specs.append(spec)
+        priorities.append(priority)
+    return specs, priorities
+
+
+def _scheduler_flags(args: argparse.Namespace) -> dict:
+    return dict(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+        report_path=args.report,
+        metrics_path=args.metrics,
+    )
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.api.session import result_summary
+    from repro.service import run_batch
+
+    if args.specs == "-":
+        text, source = sys.stdin.read(), "<stdin>"
+    else:
+        try:
+            with open(args.specs) as stream:
+                text = stream.read()
+        except OSError as exc:
+            raise _spec_error(f"cannot read {args.specs!r}: {exc}") from None
+        source = args.specs
+    try:
+        specs, priorities = _parse_batch_specs(text, source)
+    except json.JSONDecodeError as exc:
+        raise _spec_error(f"{source}: not valid JSON: {exc}") from None
+    outcomes, stats, _report = run_batch(
+        specs, priorities=priorities, **_scheduler_flags(args)
+    )
+    failures = 0
+    for spec, outcome in zip(specs, outcomes):
+        if isinstance(outcome, BaseException) or outcome is None:
+            failures += 1
+            print(f"{spec.name}: FAILED: {outcome}")
+            continue
+        summary = result_summary(outcome)
+        print(
+            f"{spec.name}: digest {summary['digest'][:12]}  "
+            f"spills {summary['spills']}  offchip {summary['offchip_accesses']}"
+        )
+    print(
+        f"batch: {stats.submitted} submitted — {stats.executed} simulated, "
+        f"{stats.dedup_hits} deduplicated, {stats.cache_hits} cache hits, "
+        f"{stats.failed} failed",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import BatchScheduler, BatchHTTPServer, serve_jsonl
+
+    scheduler = BatchScheduler(**_scheduler_flags(args))
+    try:
+        if args.http is not None:
+            server = BatchHTTPServer(("127.0.0.1", args.http), scheduler)
+            host, port = server.server_address[:2]
+            print(f"repro serve: listening on http://{host}:{port}", file=sys.stderr)
+            try:
+                server.serve_forever(poll_interval=0.1)
+            finally:
+                server.server_close()
+            code = 0
+        else:
+            code = serve_jsonl(scheduler)
+        scheduler.close(drain=True)
+        return code
+    except KeyboardInterrupt:
+        # Cancel the queue, stop in-flight work at the next cell
+        # boundary, keep everything already computed: the run report
+        # and cache make a re-submission resume instead of redo.
+        scheduler.close(drain=False)
+        print(
+            "interrupted — queued specs cancelled; completed results "
+            "are in the cache and the run report",
+            file=sys.stderr,
+        )
+        return 130
 
 
 def _positive_int(label: str):
@@ -437,15 +571,20 @@ def build_parser() -> argparse.ArgumentParser:
             "result-cache hit rates)",
         )
 
+    def add_spec_flags(p: argparse.ArgumentParser) -> None:
+        """The flags describing one RunSpec, registered identically
+        everywhere; boundary policing happens in ``RunSpec.validate``."""
+        p.add_argument("--mix", required=True, help="e.g. 471+444")
+        p.add_argument("--scheme", default="avgcc")
+        p.add_argument("--quota", type=int, default=150_000)
+        p.add_argument("--warmup", type=int, default=150_000)
+        p.add_argument("--seed", type=int, default=7)
+
     sub.add_parser("schemes", help="list available schemes").set_defaults(fn=_cmd_schemes)
     sub.add_parser("mixes", help="list the paper's mixes").set_defaults(fn=_cmd_mixes)
 
     run_p = sub.add_parser("run", help="simulate one mix under one scheme")
-    run_p.add_argument("--mix", required=True, help="e.g. 471+444")
-    run_p.add_argument("--scheme", default="avgcc")
-    run_p.add_argument("--quota", type=_positive_int("--quota"), default=150_000)
-    run_p.add_argument("--warmup", type=_nonnegative_int("--warmup"), default=150_000)
-    run_p.add_argument("--seed", type=_nonnegative_int("--seed"), default=7)
+    add_spec_flags(run_p)
     add_parallel_flags(run_p)
     run_p.set_defaults(fn=_cmd_run)
 
@@ -460,19 +599,40 @@ def build_parser() -> argparse.ArgumentParser:
     add_parallel_flags(cal_p)
     cal_p.set_defaults(fn=_cmd_calibrate)
 
-    def add_sim_flags(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--mix", required=True, help="e.g. 471+444")
-        p.add_argument("--scheme", default="avgcc")
-        p.add_argument("--quota", type=_positive_int("--quota"), default=150_000)
-        p.add_argument(
-            "--warmup", type=_nonnegative_int("--warmup"), default=150_000
-        )
-        p.add_argument("--seed", type=_nonnegative_int("--seed"), default=7)
+    batch_p = sub.add_parser(
+        "batch",
+        help="run a file of JSON specs as one deduplicated batch",
+    )
+    batch_p.add_argument(
+        "specs",
+        help="path to a JSON array / {'specs': [...]} / JSONL file of "
+        "RunSpec objects (mix, scheme, quota, ...); '-' reads stdin",
+    )
+    add_parallel_flags(batch_p)
+    batch_p.set_defaults(fn=_cmd_batch)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="batch scheduler as a service (JSONL stdin, or --http)",
+    )
+    serve_p.add_argument(
+        "--http",
+        type=_nonnegative_int("--http"),
+        nargs="?",
+        const=0,
+        default=None,
+        metavar="PORT",
+        help="serve a loopback HTTP batch endpoint instead of JSONL "
+        "stdio (POST /batch, GET /metrics, GET /healthz); "
+        "omit PORT to pick a free one",
+    )
+    add_parallel_flags(serve_p)
+    serve_p.set_defaults(fn=_cmd_serve)
 
     stats_p = sub.add_parser(
         "stats", help="per-core interval telemetry (MPKI/CPI/spills/SSL)"
     )
-    add_sim_flags(stats_p)
+    add_spec_flags(stats_p)
     stats_p.add_argument(
         "--interval",
         type=_positive_int("--interval"),
@@ -491,7 +651,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p = sub.add_parser(
         "trace", help="typed event trace (spills, swaps, flips) as JSONL"
     )
-    add_sim_flags(trace_p)
+    add_spec_flags(trace_p)
     trace_p.add_argument(
         "--events",
         default=None,

@@ -59,13 +59,18 @@ def compare(
     """Run the (mix x scheme) matrix for one improvement metric."""
     if metric not in ("speedup", "fairness", "aml", "offchip"):
         raise ValueError(f"unknown metric {metric!r}")
-    # Let parallel runners simulate the whole matrix up front; the serial
-    # runner's prewarm is a no-op and the loop below computes lazily.
-    runner.prewarm(mixes, schemes)
+    from repro.api.session import Session
+
+    # The matrix is a batch of RunSpecs against the adopted runner: a
+    # parallel runner simulates the whole batch up front (prewarm); the
+    # serial runner's prewarm is a no-op and the loop computes lazily.
+    session = Session.adopt(runner)
+    specs = [runner.spec(tuple(mix), scheme) for mix in mixes for scheme in schemes]
+    session.prewarm(specs)
     values: dict[tuple[str, str], float] = {}
     for mix in mixes:
         for scheme in schemes:
-            outcome = runner.outcome(tuple(mix), scheme)
+            outcome = session.outcome(runner.spec(tuple(mix), scheme))
             if metric == "speedup":
                 value = outcome.speedup_improvement
             elif metric == "fairness":

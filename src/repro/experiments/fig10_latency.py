@@ -57,15 +57,18 @@ def run(
     schemes: list[str] | None = None,
 ) -> Figure10Result:
     """Collect latency breakdowns for every (mix, scheme) pair."""
+    from repro.api.session import Session
+
     runner = runner or ExperimentRunner()
     mixes = mixes if mixes is not None else list(MIX2)
     schemes = schemes if schemes is not None else list(SCHEMES)
-    runner.prewarm(mixes, schemes)
+    session = Session.adopt(runner)
+    specs = [runner.spec(tuple(mix), scheme) for mix in mixes for scheme in schemes]
+    session.prewarm(specs)
     breakdowns = {}
-    for mix in mixes:
-        for scheme in schemes:
-            outcome = runner.outcome(tuple(mix), scheme)
-            breakdowns[(mix_name(mix), scheme)] = outcome.latency
+    for spec in specs:
+        outcome = session.outcome(spec)
+        breakdowns[(mix_name(spec.mix), spec.scheme)] = outcome.latency
     return Figure10Result(
         schemes=tuple(schemes),
         breakdowns=breakdowns,

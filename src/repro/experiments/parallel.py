@@ -43,17 +43,16 @@ import pickle
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+from repro.api.spec import CACHE_FORMAT_VERSION, RunSpec
 from repro.experiments.faults import FaultPlan, apply_fault, fault_plan_from_env
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import ExperimentRunner, simulate_spec
 from repro.experiments.supervision import RunReport, Supervisor
-from repro.sim.config import PrefetchConfig, ScaleModel
 from repro.sim.results import SystemResult
 
-#: Bump when the simulation's observable output or the entry layout
-#: changes; old cache entries then miss instead of poisoning results.
-#: v2: entries carry the ``_MAGIC`` header and an embedded payload
-#: checksum, so pre-checksum (v1) entries miss cleanly via their keys.
-_FORMAT_VERSION = 2
+#: The cache format version now lives with the canonical key —
+#: :data:`repro.api.spec.CACHE_FORMAT_VERSION` — since the key *is* the
+#: format's identity.  Kept as an alias for existing imports.
+_FORMAT_VERSION = CACHE_FORMAT_VERSION
 
 #: A cache cell: the workload codes and the scheme simulated on them.
 Cell = tuple[tuple[int, ...], str]
@@ -74,9 +73,25 @@ def runner_fingerprint(runner: ExperimentRunner) -> tuple:
 
 
 def cell_key(fingerprint: tuple, codes: Sequence[int], scheme: str) -> str:
-    """Content-addressed cache key for one simulation cell."""
-    payload = repr((fingerprint, tuple(codes), scheme))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    """Content-addressed cache key for one simulation cell.
+
+    Delegates to the canonical :meth:`RunSpec.cache_key` — the same key
+    the batch service derives — so a result computed by either consumer
+    is a hit for the other.  ``fingerprint`` is the
+    :func:`runner_fingerprint` layout.
+    """
+    _version, scale, quota, warmup, seed, l2_paper_bytes, prefetch = fingerprint
+    spec = RunSpec(
+        mix=tuple(codes),
+        scheme=scheme,
+        quota=quota,
+        warmup=warmup,
+        seed=seed,
+        scale=scale,
+        l2_paper_bytes=l2_paper_bytes,
+        prefetch=prefetch,
+    )
+    return spec.cache_key()
 
 
 class ResultCache:
@@ -203,28 +218,20 @@ def _pid_alive(pid: int) -> bool:
 
 
 def _simulate_cell(payload: dict) -> tuple[Cell, object]:
-    """Worker entry point: rebuild the runner and simulate one cell.
+    """Worker entry point: rebuild the spec and simulate one cell.
 
-    Module-level (picklable) and parameterised by primitives only, so it
-    works under any multiprocessing start method.  An injected fault (see
+    Module-level (picklable) and parameterised by a JSON-style
+    :class:`RunSpec` dict only, so it works under any multiprocessing
+    start method.  An injected fault (see
     :mod:`repro.experiments.faults`) fires here, before the simulation.
     """
-    codes, scheme = tuple(payload["codes"]), payload["scheme"]
+    spec = RunSpec.from_dict(payload["spec"])
     fault = payload.get("fault")
     if fault is not None:
         injected = apply_fault(fault, in_process=payload.get("fault_in_process", False))
         if injected is not None:  # a corrupted-result sentinel
-            return (codes, scheme), injected
-    prefetch = payload["prefetch"]
-    runner = ExperimentRunner(
-        scale=ScaleModel(payload["scale"]),
-        quota=payload["quota"],
-        warmup=payload["warmup"],
-        seed=payload["seed"],
-        l2_paper_bytes=payload["l2_paper_bytes"],
-        prefetch=None if prefetch is None else PrefetchConfig(*prefetch),
-    )
-    return (codes, scheme), runner._simulate(codes, scheme)
+            return spec.cell(), injected
+    return spec.cell(), simulate_spec(spec)
 
 
 class ParallelRunner(ExperimentRunner):
@@ -270,22 +277,10 @@ class ParallelRunner(ExperimentRunner):
     # ------------------------------------------------------------------ #
 
     def _key(self, codes: tuple[int, ...], scheme: str) -> str:
-        return cell_key(runner_fingerprint(self), codes, scheme)
+        return self.spec(codes, scheme).cache_key()
 
     def _payload(self, cell: Cell) -> dict:
-        pf = self.prefetch
-        return {
-            "scale": self.scale.scale,
-            "quota": self.quota,
-            "warmup": self.warmup,
-            "seed": self.seed,
-            "l2_paper_bytes": self.l2_paper_bytes,
-            "prefetch": None
-            if pf is None
-            else (pf.table_entries, pf.degree, pf.confidence_threshold),
-            "codes": cell[0],
-            "scheme": cell[1],
-        }
+        return {"spec": self.spec(*cell).to_dict()}
 
     def _store(self, cell: Cell, result: SystemResult) -> None:
         self._results[cell] = result

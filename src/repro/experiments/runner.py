@@ -12,10 +12,12 @@ caches.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Iterable, Optional, Sequence
 
+from repro.api.spec import RunSpec
 from repro.metrics.latency import LatencyBreakdown, latency_breakdown
 from repro.metrics.speedup import (
     harmonic_mean_speedup,
@@ -32,10 +34,71 @@ from repro.workloads.mixes import make_workloads, mix_name
 #: Scheme name handled by the runner rather than the policy registry.
 SHARED_SCHEME = "shared"
 
+#: Legacy entry points that already warned this process (warn exactly
+#: once per function, not once per call site or per sweep cell).
+_DEPRECATION_WARNED: set[str] = set()
+
+
+def _warn_legacy(name: str) -> None:
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"calling {name}() with (codes, scheme, ...) keyword arguments is "
+        f"deprecated; build a repro.api.RunSpec once and pass it instead "
+        f"(e.g. {name}(RunSpec(mix=(471, 444), scheme='avgcc')))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def simulate_spec(spec: RunSpec, observer=None) -> SystemResult:
+    """Simulate one :class:`~repro.api.spec.RunSpec` cell.
+
+    The single entry point behind :class:`ExperimentRunner`, the batch
+    service workers and the observability CLI (``repro stats`` /
+    ``repro trace``): with ``observer=None`` the run is bit-identical to
+    the runner's cached path for the same parameters; passing an
+    :class:`~repro.obs.observer.Observer` taps the same simulation for
+    interval telemetry or event traces without perturbing it.
+    """
+    params = spec.runner_params()
+    scale: ScaleModel = params["scale"]
+    codes = spec.mix
+    workloads = make_workloads(codes, scale)
+    config = default_config(
+        num_cores=len(codes),
+        scale=scale,
+        quota=spec.quota,
+        seed=spec.seed,
+        l2_paper_bytes=spec.l2_paper_bytes,
+        prefetch=params["prefetch"],
+    )
+    if spec.scheme == SHARED_SCHEME:
+        hierarchy: PrivateHierarchy | SharedHierarchy = SharedHierarchy(config)
+    else:
+        hierarchy = PrivateHierarchy(config, make_policy(spec.scheme))
+    engine = Engine(
+        hierarchy,
+        workloads,
+        config.quota,
+        config.seed,
+        spec.warmup,
+        observer=observer,
+    )
+    engine.run()
+    return SystemResult(
+        scheme=spec.scheme,
+        workload=mix_name(codes),
+        cores=hierarchy.stats,
+        traffic=hierarchy.traffic,
+        latencies=config.latencies,
+    )
+
 
 def simulate_mix(
-    codes: Sequence[int],
-    scheme: str,
+    codes: Sequence[int] | RunSpec,
+    scheme: Optional[str] = None,
     *,
     scale: ScaleModel = ScaleModel(),
     quota: int = 150_000,
@@ -45,40 +108,35 @@ def simulate_mix(
     prefetch: Optional[PrefetchConfig] = None,
     observer=None,
 ) -> SystemResult:
-    """Simulate one (mix, scheme) cell and return its :class:`SystemResult`.
+    """Simulate one cell and return its :class:`SystemResult`.
 
-    The single entry point behind :class:`ExperimentRunner` and the
-    observability CLI (``repro stats`` / ``repro trace``): with
-    ``observer=None`` the run is bit-identical to the runner's cached
-    path for the same parameters; passing an
-    :class:`~repro.obs.observer.Observer` taps the same simulation for
-    interval telemetry or event traces without perturbing it.
+    Preferred form: ``simulate_mix(RunSpec(mix=(471, 444)))``.  The
+    historical ``simulate_mix(codes, scheme, quota=..., ...)`` kwarg
+    spelling keeps working but emits a :class:`DeprecationWarning`
+    (once per process) pointing at :class:`~repro.api.spec.RunSpec`;
+    both paths run the identical simulation.
     """
-    codes = tuple(codes)
-    workloads = make_workloads(codes, scale)
-    config = default_config(
-        num_cores=len(codes),
-        scale=scale,
+    if isinstance(codes, RunSpec):
+        if scheme is not None:
+            raise TypeError(
+                "simulate_mix(spec) takes no separate scheme — set it on "
+                "the RunSpec"
+            )
+        return simulate_spec(codes, observer=observer)
+    _warn_legacy("simulate_mix")
+    if scheme is None:
+        raise TypeError("simulate_mix() missing required argument: 'scheme'")
+    spec = RunSpec(
+        mix=tuple(codes),
+        scheme=scheme,
         quota=quota,
+        warmup=warmup,
         seed=seed,
+        scale=scale,
         l2_paper_bytes=l2_paper_bytes,
         prefetch=prefetch,
     )
-    if scheme == SHARED_SCHEME:
-        hierarchy: PrivateHierarchy | SharedHierarchy = SharedHierarchy(config)
-    else:
-        hierarchy = PrivateHierarchy(config, make_policy(scheme))
-    engine = Engine(
-        hierarchy, workloads, config.quota, config.seed, warmup, observer=observer
-    )
-    engine.run()
-    return SystemResult(
-        scheme=scheme,
-        workload=mix_name(codes),
-        cores=hierarchy.stats,
-        traffic=hierarchy.traffic,
-        latencies=config.latencies,
-    )
+    return simulate_spec(spec, observer=observer)
 
 
 @dataclass
@@ -193,23 +251,43 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------ #
 
-    def _simulate(self, codes: tuple[int, ...], scheme: str) -> SystemResult:
-        return simulate_mix(
-            codes,
-            scheme,
-            scale=self.scale,
+    def spec(self, codes: Sequence[int], scheme: str) -> RunSpec:
+        """The :class:`RunSpec` this runner would simulate for a cell."""
+        pf = self.prefetch
+        return RunSpec(
+            mix=tuple(codes),
+            scheme=scheme,
             quota=self.quota,
             warmup=self.warmup,
             seed=self.seed,
+            scale=self.scale.scale,
             l2_paper_bytes=self.l2_paper_bytes,
-            prefetch=self.prefetch,
+            prefetch=None
+            if pf is None
+            else (pf.table_entries, pf.degree, pf.confidence_threshold),
         )
+
+    def _simulate(self, codes: tuple[int, ...], scheme: str) -> SystemResult:
+        return simulate_spec(self.spec(codes, scheme))
 
 
 def run_mix(
-    codes: tuple[int, ...],
+    codes: tuple[int, ...] | RunSpec,
     scheme: str = "avgcc",
     runner: Optional[ExperimentRunner] = None,
 ) -> MixOutcome:
-    """One-shot convenience wrapper around :class:`ExperimentRunner`."""
+    """One-shot convenience wrapper around :class:`ExperimentRunner`.
+
+    Preferred form: ``run_mix(RunSpec(mix=(471, 444)))`` — the runner
+    (built to the spec's parameters unless one is passed in) resolves
+    the outcome against its baseline and stand-alone runs.  The
+    historical ``run_mix(codes, scheme, runner=...)`` spelling keeps
+    working but emits a :class:`DeprecationWarning` once per process.
+    """
+    if isinstance(codes, RunSpec):
+        spec = codes
+        if runner is None:
+            runner = ExperimentRunner(**spec.runner_params())
+        return runner.outcome(spec.mix, spec.scheme)
+    _warn_legacy("run_mix")
     return (runner or ExperimentRunner()).outcome(tuple(codes), scheme)

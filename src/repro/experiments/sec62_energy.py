@@ -52,15 +52,20 @@ def run(
     model: EnergyModel = EnergyModel(),
 ) -> EnergyResult:
     """Evaluate the energy model over the mixes for each scheme."""
+    from repro.api.session import Session
+
     runner = runner or ExperimentRunner()
     mixes = mixes if mixes is not None else all_mixes(num_cores)
     schemes = schemes if schemes is not None else list(SCHEMES)
-    runner.prewarm(mixes, schemes)
+    session = Session.adopt(runner)
+    session.prewarm(
+        [runner.spec(tuple(mix), s) for mix in mixes for s in schemes + ["baseline"]]
+    )
     reductions: dict[tuple[str, str], float] = {}
     for mix in mixes:
-        baseline = runner.run(tuple(mix), "baseline")
+        baseline = session.result(runner.spec(tuple(mix), "baseline"))
         for scheme in schemes:
-            result = runner.run(tuple(mix), scheme)
+            result = session.result(runner.spec(tuple(mix), scheme))
             reductions[(mix_name(mix), scheme)] = model.reduction(result, baseline)
     return EnergyResult(
         num_cores=num_cores,

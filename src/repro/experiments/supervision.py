@@ -61,9 +61,23 @@ _TICK = 0.05
 _UNSET = object()
 
 
+def cell_parts(cell) -> tuple[tuple, str]:
+    """``(codes, scheme)`` of a cell, whatever its spelling.
+
+    The experiment runners schedule plain ``(codes, scheme)`` tuples;
+    the batch service schedules :class:`repro.api.spec.RunSpec` objects
+    directly.  Reports and metrics render both the same way.
+    """
+    mix = getattr(cell, "mix", None)
+    if mix is not None:
+        return tuple(mix), cell.scheme
+    codes, scheme = cell
+    return tuple(codes), scheme
+
+
 def cell_name(cell) -> str:
     """Human-readable ``471+444/avgcc`` form of a cell."""
-    codes, scheme = cell
+    codes, scheme = cell_parts(cell)
     return f"{'+'.join(str(c) for c in codes)}/{scheme}"
 
 
@@ -81,7 +95,7 @@ class CellRecord:
     errors: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        codes, scheme = self.cell
+        codes, scheme = cell_parts(self.cell)
         return {
             "codes": list(codes),
             "scheme": scheme,

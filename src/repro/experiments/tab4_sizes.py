@@ -13,7 +13,6 @@ from dataclasses import dataclass
 from repro.analysis.overhead import avgcc_cost, baseline_cost
 from repro.analysis.reporting import format_table
 from repro.cache.geometry import CacheGeometry
-from repro.experiments.parallel import make_runner
 from repro.sim.config import PAPER_L2, ScaleModel
 from repro.workloads.mixes import all_mixes
 
@@ -44,25 +43,37 @@ def run(
     retries: int = 2,
 ) -> list[Table4Row]:
     """Measure the off-chip reduction for each cache size and core count."""
+    from repro.api.session import Session
+    from repro.api.spec import spec_grid
+
+    # The whole table is one cross-size spec batch against one session:
+    # specs sharing an L2 size share a runner (and its supervised
+    # fan-out); all sizes share the disk cache.
+    session = Session(
+        jobs=jobs, cache_dir=cache_dir, timeout=timeout, retries=retries
+    )
+    grids: dict[tuple[int, int], list] = {}
+    for size_mb in sizes_mb or SIZES_MB:
+        for cores, mixes in ((4, mixes4), (2, mixes2)):
+            chosen = mixes if mixes is not None else all_mixes(cores)
+            grids[(size_mb, cores)] = spec_grid(
+                chosen,
+                ["avgcc"],
+                quota=quota,
+                warmup=warmup,
+                scale=scale,
+                l2_paper_bytes=size_mb * MB,
+            )
+    session.prewarm([spec for grid in grids.values() for spec in grid])
+
     rows = []
     for size_mb in sizes_mb or SIZES_MB:
         paper_bytes = size_mb * MB
         reductions = {}
-        for cores, mixes in ((4, mixes4), (2, mixes2)):
-            runner = make_runner(
-                jobs=jobs,
-                cache_dir=cache_dir,
-                timeout=timeout,
-                retries=retries,
-                scale=scale,
-                quota=quota,
-                warmup=warmup,
-                l2_paper_bytes=paper_bytes,
-            )
-            chosen = mixes if mixes is not None else all_mixes(cores)
-            runner.prewarm(chosen, ["avgcc"])
+        for cores in (4, 2):
             values = [
-                runner.outcome(tuple(m), "avgcc").offchip_reduction for m in chosen
+                session.outcome(spec).offchip_reduction
+                for spec in grids[(size_mb, cores)]
             ]
             reductions[cores] = sum(values) / len(values)
         geometry = CacheGeometry(paper_bytes, PAPER_L2.ways, PAPER_L2.line_bytes)

@@ -90,22 +90,110 @@ def report_to_prometheus(report, per_cell: bool = True) -> str:
     _sample(lines, "result_cache_hit_ratio", report.cache_hit_ratio)
 
     if per_cell and report.records:
+        from repro.experiments.supervision import cell_parts
+
         _metric(lines, "cell_seconds", "gauge", "Simulation wall time per cell.")
         for rec in report.records.values():
-            codes, scheme = rec.cell
+            codes, scheme = cell_parts(rec.cell)
             mix = "+".join(str(c) for c in codes)
             _sample(lines, "cell_seconds", rec.duration, mix=mix, scheme=scheme)
         _metric(lines, "cell_queue_seconds", "gauge", "Queue latency per cell.")
         for rec in report.records.values():
-            codes, scheme = rec.cell
+            codes, scheme = cell_parts(rec.cell)
             mix = "+".join(str(c) for c in codes)
             _sample(lines, "cell_queue_seconds", rec.queue_seconds, mix=mix, scheme=scheme)
         _metric(lines, "cell_attempts", "gauge", "Attempts charged per cell.")
         for rec in report.records.values():
-            codes, scheme = rec.cell
+            codes, scheme = cell_parts(rec.cell)
             mix = "+".join(str(c) for c in codes)
             _sample(lines, "cell_attempts", rec.attempts, mix=mix, scheme=scheme)
 
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# Batch-service metrics
+# --------------------------------------------------------------------- #
+
+
+def percentile(values: list, fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (``fraction`` in [0, 1])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return float(ordered[rank])
+
+
+def latency_quantiles(samples: Iterable[float]) -> dict:
+    """Summary statistics for one scheme's submit-to-result latencies."""
+    values = [float(v) for v in samples]
+    if not values:
+        return {"count": 0, "sum": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "count": len(values),
+        "sum": sum(values),
+        "p50": percentile(values, 0.50),
+        "p90": percentile(values, 0.90),
+        "p99": percentile(values, 0.99),
+        "max": max(values),
+    }
+
+
+def service_to_prometheus(stats) -> str:
+    """Render a batch-service stats snapshot as Prometheus text.
+
+    ``stats`` is a :class:`repro.service.scheduler.ServiceStats` (duck
+    typed to keep this module stdlib-only and import-light): queue
+    depth, in-flight count, the dedup/cache/executed counters and the
+    per-scheme submit-to-result latency summaries.
+    """
+    lines: list = []
+    _metric(lines, "service_queue_depth", "gauge", "Specs queued, not yet executing.")
+    _sample(lines, "service_queue_depth", stats.queue_depth)
+    _metric(lines, "service_inflight", "gauge", "Specs currently executing.")
+    _sample(lines, "service_inflight", stats.inflight)
+    _metric(lines, "service_submitted_total", "counter", "Specs submitted to the service.")
+    _sample(lines, "service_submitted_total", stats.submitted)
+    _metric(
+        lines,
+        "service_dedup_hits_total",
+        "counter",
+        "Submissions that joined an identical pending or in-flight spec.",
+    )
+    _sample(lines, "service_dedup_hits_total", stats.dedup_hits)
+    _metric(
+        lines,
+        "service_cache_hits_total",
+        "counter",
+        "Submissions satisfied from memory or the disk result cache.",
+    )
+    _sample(lines, "service_cache_hits_total", stats.cache_hits)
+    _metric(lines, "service_executed_total", "counter", "Specs actually simulated.")
+    _sample(lines, "service_executed_total", stats.executed)
+    _metric(lines, "service_failed_total", "counter", "Specs that exhausted retries.")
+    _sample(lines, "service_failed_total", stats.failed)
+    _metric(lines, "service_cancelled_total", "counter", "Specs cancelled before execution.")
+    _sample(lines, "service_cancelled_total", stats.cancelled)
+
+    _metric(
+        lines,
+        "service_latency_seconds",
+        "summary",
+        "Submit-to-result latency per scheme (executed specs only).",
+    )
+    for scheme in sorted(stats.latency):
+        q = stats.latency[scheme]
+        for quantile, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+            _sample(
+                lines,
+                "service_latency_seconds",
+                q[key],
+                scheme=scheme,
+                quantile=quantile,
+            )
+        _sample(lines, "service_latency_seconds_count", q["count"], scheme=scheme)
+        _sample(lines, "service_latency_seconds_sum", q["sum"], scheme=scheme)
     return "\n".join(lines) + "\n"
 
 

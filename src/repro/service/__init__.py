@@ -1,0 +1,32 @@
+"""``repro.service`` — batch simulation service over the supervised pool.
+
+:class:`BatchScheduler` accepts :class:`~repro.api.spec.RunSpec`
+submissions, deduplicates them against the content-addressed result
+cache (including in-flight dedup), prioritizes, fans out through the
+supervised worker pool, and resolves a future per submission.
+:class:`AsyncClient` adapts those futures to asyncio; the
+:mod:`~repro.service.serve` front-ends expose the scheduler over JSONL
+stdio and a loopback HTTP batch endpoint (``repro serve``).
+"""
+
+from repro.service.aio import AsyncClient
+from repro.service.scheduler import (
+    BatchScheduler,
+    JobFailed,
+    SchedulerClosed,
+    ServiceStats,
+    run_batch,
+)
+from repro.service.serve import BatchHTTPServer, serve_http, serve_jsonl
+
+__all__ = [
+    "AsyncClient",
+    "BatchHTTPServer",
+    "BatchScheduler",
+    "JobFailed",
+    "SchedulerClosed",
+    "ServiceStats",
+    "run_batch",
+    "serve_http",
+    "serve_jsonl",
+]

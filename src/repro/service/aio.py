@@ -1,0 +1,70 @@
+"""Asyncio adapter over :class:`~repro.service.scheduler.BatchScheduler`.
+
+The scheduler's native currency is :class:`concurrent.futures.Future`;
+this module wraps those in awaitables so notebook and async-framework
+callers can drive simulation batches with plain ``await``::
+
+    client = AsyncClient(scheduler)
+    result = await client.run(spec)
+    async for spec, result in client.run_many(specs):
+        ...
+
+``run_many`` yields in *completion* order — a cache hit streams back
+instantly while a cold simulation is still running — which is the point
+of going async in the first place.  Everything here is stdlib asyncio;
+the scheduler keeps doing the work on its own threads and processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Iterable, Sequence, Tuple
+
+from repro.api.spec import RunSpec
+from repro.service.scheduler import BatchScheduler
+from repro.sim.results import SystemResult
+
+
+class AsyncClient:
+    """Awaitable façade over a (possibly shared) :class:`BatchScheduler`."""
+
+    def __init__(self, scheduler: BatchScheduler) -> None:
+        self.scheduler = scheduler
+
+    async def run(self, spec: RunSpec, priority: int = 0) -> SystemResult:
+        """Submit one spec and await its result."""
+        future = self.scheduler.submit(spec, priority=priority)
+        return await asyncio.wrap_future(future)
+
+    async def run_many(
+        self, specs: Iterable[RunSpec], priority: int = 0
+    ) -> AsyncIterator[Tuple[RunSpec, SystemResult]]:
+        """Submit a batch; yield ``(spec, result)`` in completion order.
+
+        A failed spec raises its exception out of the iteration when its
+        turn comes (after everything that succeeded before it).
+        """
+        specs = list(specs)
+        futures = [self.scheduler.submit(s, priority=priority) for s in specs]
+        by_task = {
+            asyncio.ensure_future(asyncio.wrap_future(f)): spec
+            for spec, f in zip(specs, futures)
+        }
+        pending = set(by_task)
+        try:
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for task in done:
+                    yield by_task[task], task.result()
+        finally:
+            for task in pending:
+                task.cancel()
+
+    async def gather(
+        self, specs: Sequence[RunSpec], priority: int = 0
+    ) -> list:
+        """Await the whole batch; results in *submission* order."""
+        futures = [self.scheduler.submit(s, priority=priority) for s in specs]
+        return await asyncio.gather(*(asyncio.wrap_future(f) for f in futures))

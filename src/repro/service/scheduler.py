@@ -1,0 +1,518 @@
+""":class:`BatchScheduler` — a long-running batch simulation service.
+
+Large cache-simulation campaigns are throughput problems: thousands of
+independent ``(mix, scheme, parameters)`` cells whose only coupling is
+the shared result cache.  The scheduler turns the existing supervised
+pool into a *service* for them:
+
+* **Submission** — ``submit(spec, priority=...)`` returns a
+  :class:`concurrent.futures.Future` immediately; callers block on it,
+  attach callbacks, or go through the :mod:`repro.service.aio` adapter
+  (``await client.run(spec)``).
+* **Deduplication** — a submission identical to a *pending or
+  in-flight* spec joins its execution (two futures, one simulation);
+  one identical to a finished spec resolves from memory; and the
+  content-addressed :class:`~repro.experiments.parallel.ResultCache`
+  (keyed by the canonical :meth:`RunSpec.cache_key`) is consulted
+  before simulating, so results computed by *any* past run — serial
+  runner, parallel sweep or another service instance — are hits here.
+* **Prioritisation** — lower ``priority`` values run earlier (ties in
+  submission order); a duplicate submission at a more urgent priority
+  promotes the queued spec.
+* **Supervised fan-out** — execution goes through the existing
+  :class:`~repro.experiments.supervision.Supervisor`: worker pool,
+  per-spec timeouts, bounded retry, pool-death recovery.  The specs
+  themselves are the supervisor's cells, so one drained batch can mix
+  quotas, scales and cache sizes freely.
+* **Graceful shutdown** — ``close(drain=True)`` finishes everything
+  queued; ``close(drain=False)`` (the SIGINT path of ``repro serve`` /
+  ``repro batch``) cancels queued work, stops the in-flight batch at
+  the next cell boundary, and still writes the cumulative
+  :class:`~repro.experiments.supervision.RunReport`.
+
+Simulations are deterministic functions of their spec, so results are
+bit-identical to the serial ``run_mix`` path — the dedup/scheduling
+layer only changes *when* a cell runs, never what it computes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.api.spec import RunSpec
+from repro.experiments.parallel import ResultCache
+from repro.experiments.runner import simulate_spec
+from repro.experiments.supervision import (
+    RunReport,
+    SupervisionError,
+    Supervisor,
+)
+from repro.sim.results import SystemResult
+
+
+class JobFailed(RuntimeError):
+    """A submitted spec exhausted its retries; set on its futures."""
+
+    def __init__(self, spec: RunSpec, kind: str) -> None:
+        self.spec = spec
+        self.kind = kind
+        super().__init__(f"{spec.name} failed after retries: {kind}")
+
+
+class SchedulerClosed(RuntimeError):
+    """``submit`` was called on a scheduler that stopped accepting work."""
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A consistent snapshot of the scheduler's counters.
+
+    ``latency`` maps scheme name to the summary quantiles (p50/p90/p99,
+    count, sum, max) of submit-to-result latency for *executed* specs;
+    cache and dedup hits resolve too fast to be interesting.
+    """
+
+    submitted: int
+    dedup_hits: int
+    cache_hits: int
+    executed: int
+    failed: int
+    cancelled: int
+    queue_depth: int
+    inflight: int
+    latency: dict = field(default_factory=dict)
+
+    def to_prometheus(self) -> str:
+        from repro.obs.metrics import service_to_prometheus
+
+        return service_to_prometheus(self)
+
+
+class _Entry:
+    """One unique spec's lifecycle: its futures and queue state."""
+
+    __slots__ = ("spec", "priority", "seq", "futures", "created", "state")
+
+    def __init__(self, spec: RunSpec, priority: int, seq: int) -> None:
+        self.spec = spec
+        self.priority = priority
+        self.seq = seq
+        self.futures: list[Future] = []
+        self.created = time.monotonic()
+        self.state = "queued"  # queued | inflight | done
+
+
+def _run_spec(payload: dict):
+    """Worker entry point: rebuild the spec and simulate it.
+
+    Module-level and primitive-parameterised (picklable under any
+    multiprocessing start method).  Honours an injected fault payload
+    like the parallel runner's worker, so chaos plans cover the service
+    path too.
+    """
+    spec = RunSpec.from_dict(payload["spec"])
+    fault = payload.get("fault")
+    if fault is not None:
+        from repro.experiments.faults import apply_fault
+
+        injected = apply_fault(fault, in_process=payload.get("fault_in_process", False))
+        if injected is not None:
+            return spec, injected
+    return spec, simulate_spec(spec)
+
+
+class BatchScheduler:
+    """Asynchronous batch scheduler over the supervised worker pool.
+
+    Parameters mirror the CLI orchestration flags.  With
+    ``start=False`` the scheduler queues submissions without executing
+    until :meth:`start` is called — deterministic for tests and for
+    front-ends that want to enqueue a whole file before work begins.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike | None = None,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.25,
+        report_path: str | os.PathLike | None = None,
+        metrics_path: str | os.PathLike | None = None,
+        start: bool = True,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        if report_path is None and cache_dir is not None:
+            report_path = Path(cache_dir) / "run_report.json"
+        self.report_path = report_path
+        self.metrics_path = metrics_path
+        #: Cumulative report across every batch this scheduler drains.
+        self.report = RunReport(
+            config={"jobs": self.jobs, "timeout": timeout, "retries": retries}
+        )
+
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._queue: list[tuple[int, int, RunSpec]] = []  # (priority, seq, spec)
+        self._entries: dict[RunSpec, _Entry] = {}
+        self._results: dict[RunSpec, SystemResult] = {}
+        self._seq = itertools.count()
+        self._closing = False
+        self._abort = False
+        self._current: Optional[Supervisor] = None
+        self._batch_started: dict[RunSpec, float] = {}
+
+        self.submitted = 0
+        self.dedup_hits = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self._latencies: dict[str, list[float]] = {}
+
+        self._thread: Optional[threading.Thread] = None
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission side
+    # ------------------------------------------------------------------ #
+
+    def submit(self, spec: RunSpec, priority: int = 0) -> Future:
+        """Queue one spec; the returned future resolves to its result.
+
+        Lower ``priority`` runs earlier.  Raises
+        :class:`~repro.api.spec.SpecError` on an invalid spec and
+        :class:`SchedulerClosed` after :meth:`close`.
+        """
+        spec.validate()
+        future: Future = Future()
+        with self._lock:
+            if self._closing:
+                raise SchedulerClosed("scheduler is closed to new submissions")
+            self.submitted += 1
+            done = self._results.get(spec)
+            if done is not None:
+                self.cache_hits += 1
+                future.set_result(done)
+                return future
+            entry = self._entries.get(spec)
+            if entry is not None:
+                # In-flight dedup: identical pending/executing spec —
+                # share its execution, promote its priority if ours is
+                # more urgent and it has not been picked up yet.
+                self.dedup_hits += 1
+                entry.futures.append(future)
+                if entry.state == "queued" and priority < entry.priority:
+                    entry.priority = priority
+                    heappush(self._queue, (priority, entry.seq, spec))
+                return future
+            entry = _Entry(spec, priority, next(self._seq))
+            entry.futures.append(future)
+            self._entries[spec] = entry
+            heappush(self._queue, (priority, entry.seq, spec))
+            self._wake.notify_all()
+        return future
+
+    def map(self, specs: Iterable[RunSpec], priority: int = 0) -> list[Future]:
+        """Submit a whole batch; futures in submission order."""
+        return [self.submit(spec, priority=priority) for spec in specs]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "BatchScheduler":
+        """Start the scheduler thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-batch-scheduler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until nothing is queued or in flight; True on success."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._entries or self._queue:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining if remaining is not None else 0.5)
+        return True
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting work; finish or cancel what's queued.
+
+        ``drain=True`` completes everything already submitted.
+        ``drain=False`` — the interrupt path — cancels queued specs
+        (their futures report cancelled), asks the in-flight supervisor
+        to stop at the next cell boundary, and returns once the
+        scheduler thread exits.  Both paths write the cumulative run
+        report (and the metrics file, when configured).
+        """
+        with self._lock:
+            self._closing = True
+            if not drain:
+                self._abort = True
+                current = self._current
+                if current is not None:
+                    current.request_stop()
+                self._cancel_queued_locked()
+            self._wake.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout)
+        self._write_outputs()
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> ServiceStats:
+        from repro.obs.metrics import latency_quantiles
+
+        with self._lock:
+            queued = sum(1 for e in self._entries.values() if e.state == "queued")
+            inflight = sum(1 for e in self._entries.values() if e.state == "inflight")
+            return ServiceStats(
+                submitted=self.submitted,
+                dedup_hits=self.dedup_hits,
+                cache_hits=self.cache_hits,
+                executed=self.executed,
+                failed=self.failed,
+                cancelled=self.cancelled,
+                queue_depth=queued,
+                inflight=inflight,
+                latency={
+                    scheme: latency_quantiles(samples)
+                    for scheme, samples in self._latencies.items()
+                },
+            )
+
+    # ------------------------------------------------------------------ #
+    # Scheduler thread
+    # ------------------------------------------------------------------ #
+
+    def _loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._queue and not self._closing:
+                    self._wake.wait(0.1)
+                if self._abort:
+                    self._cancel_queued_locked()
+                if not self._queue and self._closing:
+                    self._idle.notify_all()
+                    return
+                batch = self._pop_batch_locked()
+            if not batch:
+                with self._idle:
+                    if not self._entries and not self._queue:
+                        self._idle.notify_all()
+                continue
+            self._execute(batch)
+            with self._idle:
+                if not self._entries and not self._queue:
+                    self._idle.notify_all()
+
+    def _pop_batch_locked(self) -> list[_Entry]:
+        """Drain the priority queue into an ordered, deduplicated batch."""
+        batch: list[_Entry] = []
+        seen: set[RunSpec] = set()
+        while self._queue:
+            _priority, _seq, spec = heappop(self._queue)
+            entry = self._entries.get(spec)
+            if entry is None or entry.state != "queued" or spec in seen:
+                continue  # stale heap tuple (promoted, resolved, cancelled)
+            if all(f.cancelled() for f in entry.futures):
+                entry.state = "done"
+                del self._entries[spec]
+                self.cancelled += 1
+                continue
+            entry.state = "inflight"
+            seen.add(spec)
+            batch.append(entry)
+        return batch
+
+    def _execute(self, batch: list[_Entry]) -> None:
+        # Disk-cache pass first: anything already content-addressed on
+        # disk resolves without occupying a worker.
+        todo: list[_Entry] = []
+        for entry in batch:
+            if self.cache is not None:
+                found = self.cache.get(entry.spec.cache_key())
+                if found is not None:
+                    with self._lock:
+                        self.cache_hits += 1
+                    self.report.mark_hit(entry.spec, "cache")
+                    self._resolve(entry.spec, found, simulated=False)
+                    continue
+            todo.append(entry)
+        if not todo:
+            self._flush_report()
+            return
+
+        started = time.monotonic()
+        self._batch_started = {entry.spec: started for entry in todo}
+        supervisor = Supervisor(
+            _run_spec,
+            lambda spec: {"spec": spec.to_dict()},
+            jobs=self.jobs,
+            timeout=self.timeout,
+            retries=self.retries,
+            backoff=self.backoff,
+            validate=lambda result: isinstance(result, SystemResult),
+            on_result=lambda spec, result: self._resolve(spec, result, simulated=True),
+            report=self.report,
+            report_path=self.report_path,
+        )
+        with self._lock:
+            self._current = supervisor
+            if self._abort:
+                supervisor.request_stop()
+        interrupted = False
+        try:
+            supervisor.run([entry.spec for entry in todo])
+        except SupervisionError as exc:
+            for spec, kind in exc.failed.items():
+                self._fail(spec, JobFailed(spec, kind))
+        except KeyboardInterrupt:
+            interrupted = True
+        finally:
+            with self._lock:
+                self._current = None
+        if interrupted:
+            # Cells the stopped supervisor never reached: cancel them.
+            for entry in todo:
+                self._cancel_entry(entry.spec)
+        self._flush_report()
+
+    # ------------------------------------------------------------------ #
+    # Completion plumbing
+    # ------------------------------------------------------------------ #
+
+    def _resolve(self, spec: RunSpec, result: SystemResult, *, simulated: bool) -> None:
+        if self.cache is not None and simulated:
+            self.cache.put(spec.cache_key(), result)
+        with self._lock:
+            entry = self._entries.pop(spec, None)
+            self._results[spec] = result
+            if simulated:
+                self.executed += 1
+                if entry is not None:
+                    started = self._batch_started.get(spec, entry.created)
+                    self._latencies.setdefault(spec.scheme, []).append(
+                        time.monotonic() - started
+                    )
+            futures = list(entry.futures) if entry is not None else []
+            if entry is not None:
+                entry.state = "done"
+        for future in futures:
+            if not future.cancelled():
+                future.set_result(result)
+
+    def _fail(self, spec: RunSpec, error: Exception) -> None:
+        with self._lock:
+            entry = self._entries.pop(spec, None)
+            self.failed += 1
+            futures = list(entry.futures) if entry is not None else []
+            if entry is not None:
+                entry.state = "done"
+        for future in futures:
+            if not future.cancelled():
+                future.set_exception(error)
+
+    def _cancel_entry(self, spec: RunSpec) -> None:
+        with self._lock:
+            entry = self._entries.pop(spec, None)
+            if entry is None:
+                return
+            entry.state = "done"
+            self.cancelled += 1
+            futures = list(entry.futures)
+        for future in futures:
+            future.cancel()
+
+    def _cancel_queued_locked(self) -> None:
+        for spec, entry in list(self._entries.items()):
+            if entry.state != "queued":
+                continue
+            entry.state = "done"
+            del self._entries[spec]
+            self.cancelled += 1
+            for future in entry.futures:
+                future.cancel()
+        self._queue.clear()
+
+    def _flush_report(self) -> None:
+        if self.cache is not None:
+            self.report.cache_hits = self.cache.hits
+            self.report.cache_misses = self.cache.misses
+            self.report.cache_quarantined = self.cache.quarantined
+        self.report.finalize()
+        if self.report_path is not None:
+            self.report.write(self.report_path)
+
+    def _write_outputs(self) -> None:
+        self._flush_report()
+        if self.metrics_path is not None:
+            path = Path(self.metrics_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                self.stats().to_prometheus() + self.report.to_prometheus()
+            )
+
+
+def run_batch(
+    specs: Sequence[RunSpec],
+    *,
+    priorities: Optional[Sequence[int]] = None,
+    **scheduler_kwargs,
+) -> tuple[list, ServiceStats, RunReport]:
+    """One-shot convenience: schedule ``specs``, wait, return everything.
+
+    Returns ``(outcomes, stats, report)`` where ``outcomes[i]`` is the
+    :class:`SystemResult` for ``specs[i]`` (or the exception it failed
+    with).  Used by ``repro batch`` and the service smoke tests.
+    """
+    scheduler = BatchScheduler(**scheduler_kwargs)
+    try:
+        futures = [
+            scheduler.submit(
+                spec, priority=priorities[i] if priorities is not None else 0
+            )
+            for i, spec in enumerate(specs)
+        ]
+        outcomes: list = []
+        for future in futures:
+            try:
+                outcomes.append(future.result())
+            except Exception as exc:  # noqa: BLE001 - surfaced per spec
+                outcomes.append(exc)
+        scheduler.close(drain=True)
+    except BaseException:
+        scheduler.close(drain=False)
+        raise
+    return outcomes, scheduler.stats(), scheduler.report

@@ -1,0 +1,211 @@
+"""Front-ends for the batch service: JSONL-over-stdio and localhost HTTP.
+
+Two ways to feed a running :class:`BatchScheduler` from outside the
+process, both stdlib-only:
+
+* :func:`serve_jsonl` — read one JSON object per line from a stream
+  (``repro serve`` wires stdin), submit each as a :class:`RunSpec`, and
+  write one JSON result line per completion *in completion order*.
+  Lines may carry ``{"spec": {...}, "priority": n, "id": ...}`` or be a
+  bare spec object; the ``id`` (default: input line number) is echoed in
+  the output so callers can correlate out-of-order completions.
+* :func:`serve_http` — a ``ThreadingHTTPServer`` bound to localhost
+  with ``POST /batch`` (JSON array of specs in, JSON array of summaries
+  out, submission order), ``GET /metrics`` (Prometheus text) and
+  ``GET /healthz``.  Loopback-only by design: this is a lab-bench batch
+  port, not a product server — there is no auth story here.
+
+Result payloads use :func:`repro.api.session.result_summary`, so the
+digest field is the same SHA-256 the golden tests pin — a client can
+verify bit-identity against a serial run without pickles.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import IO, Optional
+
+from repro.api.session import result_summary
+from repro.api.spec import RunSpec, SpecError
+from repro.service.scheduler import BatchScheduler
+
+
+def _parse_line(line: str, lineno: int) -> tuple[object, RunSpec, int]:
+    """``(id, spec, priority)`` from one JSONL request line."""
+    obj = json.loads(line)
+    if not isinstance(obj, dict):
+        raise SpecError(f"line {lineno}: expected a JSON object, got {type(obj).__name__}")
+    if "spec" in obj:
+        spec = RunSpec.from_dict(obj["spec"])
+        priority = int(obj.get("priority", 0))
+        req_id = obj.get("id", lineno)
+    else:
+        spec = RunSpec.from_dict(obj)
+        priority, req_id = 0, lineno
+    return req_id, spec.validate(), priority
+
+
+def serve_jsonl(
+    scheduler: BatchScheduler,
+    stdin: Optional[IO[str]] = None,
+    stdout: Optional[IO[str]] = None,
+    stderr: Optional[IO[str]] = None,
+) -> int:
+    """Drive the scheduler from a JSONL stream; returns an exit code.
+
+    Output lines are ``{"id", "ok", ...summary}`` on success and
+    ``{"id", "ok": false, "error"}`` on failure, flushed per completion
+    so a pipe consumer sees results as they land.  Malformed input lines
+    are reported on stderr and counted in the exit code, but do not
+    abort the stream — a typo in request 400 must not waste 399 queued
+    simulations.
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    stderr = stderr if stderr is not None else sys.stderr
+    write_lock = threading.Lock()
+    bad_input = 0
+    failures = 0
+
+    def emit(obj: dict) -> None:
+        with write_lock:
+            stdout.write(json.dumps(obj, sort_keys=True) + "\n")
+            stdout.flush()
+
+    def on_done(req_id: object, spec: RunSpec, future: Future) -> None:
+        nonlocal failures
+        try:
+            result = future.result()
+        except Exception as exc:  # noqa: BLE001 - reported per request
+            failures += 1
+            emit({"id": req_id, "spec": spec.name, "ok": False, "error": str(exc)})
+        else:
+            emit({"id": req_id, "ok": True, **result_summary(result)})
+
+    pending: list[Future] = []
+    for lineno, line in enumerate(stdin, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            req_id, spec, priority = _parse_line(line, lineno)
+        except (ValueError, SpecError) as exc:
+            bad_input += 1
+            print(f"repro serve: skipping line {lineno}: {exc}", file=stderr)
+            continue
+        future = scheduler.submit(spec, priority=priority)
+        future.add_done_callback(
+            lambda fut, req_id=req_id, spec=spec: on_done(req_id, spec, fut)
+        )
+        pending.append(future)
+
+    wait(pending)
+    return 1 if (bad_input or failures) else 0
+
+
+# --------------------------------------------------------------------- #
+# HTTP front-end
+# --------------------------------------------------------------------- #
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to one scheduler via the server instance."""
+
+    server_version = "repro-batch/1"
+
+    @property
+    def scheduler(self) -> BatchScheduler:
+        return self.server.scheduler  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        stream = getattr(self.server, "log_stream", None)
+        if stream is not None:
+            print(f"{self.address_string()} - {format % args}", file=stream)
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: object) -> None:
+        self._send(
+            status, json.dumps(payload, sort_keys=True).encode(), "application/json"
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True, **vars(self.scheduler.stats())})
+        elif self.path == "/metrics":
+            text = self.scheduler.stats().to_prometheus()
+            text += self.scheduler.report.to_prometheus(per_cell=False)
+            self._send(200, text.encode(), "text/plain; version=0.0.4")
+        else:
+            self._send_json(404, {"ok": False, "error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/batch":
+            self._send_json(404, {"ok": False, "error": f"no route {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"null")
+            if isinstance(payload, dict):
+                payload = [payload]
+            if not isinstance(payload, list):
+                raise SpecError("expected a JSON array of spec objects")
+            specs = [RunSpec.from_dict(item).validate() for item in payload]
+        except (ValueError, SpecError, TypeError) as exc:
+            self._send_json(400, {"ok": False, "error": str(exc)})
+            return
+        futures = [self.scheduler.submit(spec) for spec in specs]
+        results = []
+        for spec, future in zip(specs, futures):
+            try:
+                results.append({"ok": True, **result_summary(future.result())})
+            except Exception as exc:  # noqa: BLE001 - reported per spec
+                results.append({"ok": False, "spec": spec.name, "error": str(exc)})
+        self._send_json(200, results)
+
+
+class BatchHTTPServer(ThreadingHTTPServer):
+    """Loopback HTTP server carrying a scheduler reference."""
+
+    daemon_threads = True
+
+    def __init__(self, address, scheduler: BatchScheduler, log_stream=None) -> None:
+        super().__init__(address, _Handler)
+        self.scheduler = scheduler
+        self.log_stream = log_stream
+
+
+def serve_http(
+    scheduler: BatchScheduler,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    log_stream=None,
+    ready: Optional[threading.Event] = None,
+    ready_port: Optional[list] = None,
+) -> None:
+    """Serve ``POST /batch`` / ``GET /metrics`` / ``GET /healthz`` forever.
+
+    ``port=0`` picks a free port; the bound port is appended to
+    ``ready_port`` (if given) before ``ready`` is set, so tests and the
+    CLI can print it.  Blocks until ``server.shutdown()`` — callers run
+    this on a thread or let SIGINT unwind it.
+    """
+    server = BatchHTTPServer((host, port), scheduler, log_stream=log_stream)
+    if ready_port is not None:
+        ready_port.append(server.server_address[1])
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()

@@ -177,3 +177,91 @@ def test_chaos_env_knob_injects_and_recovers(tmp_path, capsys, monkeypatch):
     data = json.loads(report.read_text())
     assert data["retried"] == 1  # the injected crash was retried
     assert data["counts"]["failed"] == 0
+
+
+def test_warmup_zero_is_accepted_boundary():
+    """Regression: --warmup 0 is legal (disables warmup), not an error."""
+    code = main(["run", "--mix", "444", "--scheme", "baseline",
+                 "--quota", "2000", "--warmup", "0"])
+    assert code == 0
+
+
+def test_quota_smaller_than_warmup_is_accepted():
+    """Regression: a measured window shorter than warmup must run."""
+    code = main(["run", "--mix", "444", "--scheme", "baseline",
+                 "--quota", "500", "--warmup", "2000"])
+    assert code == 0
+
+
+def test_batch_command_dedups_and_reports(tmp_path, capsys):
+    import json
+
+    specs = [
+        {"mix": "471+444", "quota": 1500, "warmup": 500},
+        {"mix": "471+444", "scheme": "baseline", "quota": 1500, "warmup": 500},
+        {"mix": "471+444", "quota": 1500, "warmup": 500},
+        {"mix": "444+445", "quota": 1500, "warmup": 500},
+        {"mix": "471+444", "scheme": "baseline", "quota": 1500, "warmup": 500},
+        {"mix": "444+445", "scheme": "dsr", "quota": 1500, "warmup": 500},
+    ]
+    path = tmp_path / "specs.json"
+    path.write_text(json.dumps(specs))
+    code = main(["batch", str(path), "--cache-dir", str(tmp_path / "cells")])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert captured.out.count("digest") == 6
+    assert "4 simulated, 2 deduplicated" in captured.err
+    # Re-running the same batch resolves everything from the disk cache.
+    code = main(["batch", str(path), "--cache-dir", str(tmp_path / "cells")])
+    assert code == 0
+    assert "0 simulated" in capsys.readouterr().err
+
+
+def test_batch_command_accepts_jsonl_and_priorities(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "specs.jsonl"
+    path.write_text(
+        "# a comment\n"
+        + json.dumps({"spec": {"mix": "444", "scheme": "baseline",
+                               "quota": 1500, "warmup": 500}, "priority": 2})
+        + "\n"
+        + json.dumps({"mix": "445", "scheme": "baseline",
+                      "quota": 1500, "warmup": 500})
+        + "\n"
+    )
+    assert main(["batch", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "444/baseline" in out and "445/baseline" in out
+
+
+def test_batch_command_rejects_bad_spec_with_index(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "specs.json"
+    path.write_text(json.dumps([{"mix": "471+444"}, {"mix": "471", "quota": 0}]))
+    with pytest.raises(SystemExit) as excinfo:
+        main(["batch", str(path)])
+    assert "spec #2" in str(excinfo.value)
+    assert "positive" in capsys.readouterr().err
+
+
+def test_batch_command_missing_file_is_actionable(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["batch", "/nonexistent/specs.json"])
+    assert "cannot read" in str(excinfo.value)
+    assert "Traceback" not in capsys.readouterr().err
+
+
+def test_serve_command_jsonl_round_trip(tmp_path, capsys, monkeypatch):
+    import io
+    import json
+
+    request = json.dumps({"mix": "444", "scheme": "baseline",
+                          "quota": 1500, "warmup": 500})
+    monkeypatch.setattr("sys.stdin", io.StringIO(request + "\n"))
+    code = main(["serve", "--report", str(tmp_path / "report.json")])
+    assert code == 0
+    rows = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+    assert len(rows) == 1 and rows[0]["ok"] and rows[0]["workload"] == "444"
+    assert json.loads((tmp_path / "report.json").read_text())["counts"]["simulated"] == 1

@@ -1,0 +1,70 @@
+"""Deprecation shims: legacy kwarg spellings warn once, RunSpec is silent.
+
+CI runs this module with ``-W error::DeprecationWarning`` as well: every
+warning a shim emits is either expected by ``pytest.warns`` or absent,
+so the strict-warnings job proves the *new* API path is warning-clean.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import RunSpec, result_digest
+from repro.experiments import runner as runner_mod
+from repro.experiments.runner import ExperimentRunner, run_mix, simulate_mix
+
+SPEC = RunSpec(mix=(471, 444), scheme="baseline", quota=1_000, warmup=500)
+
+
+@pytest.fixture(autouse=True)
+def _reset_once_per_process_latch():
+    """Each test sees the shims as if the process just started."""
+    saved = set(runner_mod._DEPRECATION_WARNED)
+    runner_mod._DEPRECATION_WARNED.clear()
+    yield
+    runner_mod._DEPRECATION_WARNED.clear()
+    runner_mod._DEPRECATION_WARNED.update(saved)
+
+
+def test_legacy_simulate_mix_warns_and_points_at_runspec():
+    with pytest.warns(DeprecationWarning, match="RunSpec"):
+        simulate_mix((471, 444), "baseline", quota=1_000, warmup=500)
+
+
+def test_legacy_run_mix_warns_and_points_at_runspec():
+    with pytest.warns(DeprecationWarning, match="RunSpec"):
+        run_mix((471, 444), "baseline", runner=ExperimentRunner(quota=1_000, warmup=500))
+
+
+def test_legacy_warning_fires_once_per_process():
+    with pytest.warns(DeprecationWarning):
+        simulate_mix((471, 444), "baseline", quota=1_000, warmup=500)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        simulate_mix((471, 444), "baseline", quota=1_000, warmup=500)
+    assert not caught, "second legacy call warned again"
+
+
+def test_spec_path_is_warning_clean():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("error", DeprecationWarning)
+        simulate_mix(SPEC)
+        run_mix(SPEC)
+    assert not caught
+
+
+def test_spec_with_separate_scheme_is_a_type_error():
+    with pytest.raises(TypeError, match="set it on"):
+        simulate_mix(SPEC, "avgcc")
+
+
+def test_legacy_scheme_still_required():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="scheme"):
+            simulate_mix((471, 444))
+
+
+def test_legacy_and_spec_paths_are_bit_identical():
+    with pytest.warns(DeprecationWarning):
+        legacy = simulate_mix((471, 444), "baseline", quota=1_000, warmup=500)
+    assert result_digest(legacy) == result_digest(simulate_mix(SPEC))

@@ -28,3 +28,24 @@ def test_scheme_and_mix_catalogues():
 def test_make_policy_factory():
     policy = repro.make_policy("ascc")
     assert policy.name == "ascc"
+
+
+def test_runspec_workflow_is_top_level():
+    spec = repro.RunSpec(mix="444+445", scheme="baseline", quota=4_000, warmup=2_000)
+    outcome = repro.run_mix(spec)
+    assert isinstance(outcome, repro.MixOutcome)
+    assert outcome.result.workload == "444+445"
+
+
+def test_session_is_top_level():
+    spec = repro.RunSpec(mix=(444,), scheme="baseline", quota=2_000, warmup=1_000)
+    result = repro.Session().result(spec)
+    assert result.workload == "444"
+
+
+def test_spec_validation_is_top_level():
+    import pytest
+
+    with pytest.raises(repro.SpecError):
+        repro.RunSpec(mix=(444,), quota=0).validate()
+    assert len(repro.spec_grid([(444,), (445,)], ["baseline"])) == 2
