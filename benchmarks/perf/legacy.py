@@ -94,6 +94,28 @@ class LegacyCacheArray:
             self.directory.add(line.addr, self.cache_id)
         return victim
 
+    def fill_fields(
+        self,
+        addr: int,
+        state: Mesi,
+        spilled: bool = False,
+        shared_region: bool = False,
+        prefetched: bool = False,
+        *,
+        position: int,
+        victim_position: Optional[int] = None,
+    ) -> Optional[Line]:
+        # Interface shim for the kernel-v2 hierarchy: the legacy array
+        # keeps its allocation-per-fill cost profile.
+        return self.fill(
+            Line(addr, state, spilled, shared_region, prefetched),
+            position,
+            victim_position,
+        )
+
+    def release(self, line: Line) -> None:
+        """No pooling in the legacy array."""
+
     def evict(self, line_addr: int) -> Line:
         return self._remove(line_addr)
 

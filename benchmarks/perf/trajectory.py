@@ -1,0 +1,55 @@
+"""Append-a-run trajectory format for the BENCH_*.json reports.
+
+Each benchmark report is a single JSON document holding the full history
+of runs on this checkout::
+
+    {
+      "benchmark": "sim_kernel",
+      "latest": {...},          # convenience copy of runs[-1]
+      "runs": [{...}, {...}]    # chronological, one object per invocation
+    }
+
+Earlier revisions wrote one flat object per file, overwriting the
+previous run; plotting a perf trajectory across commits then required
+archaeology through git history.  :func:`append_run` upgrades such a
+legacy file in place (its single object becomes ``runs[0]``) and appends
+from there.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+
+def append_run(path: Path, benchmark: str, run: dict) -> dict:
+    """Append one run to the trajectory at ``path`` and rewrite it.
+
+    Returns the full document written.  ``run`` is stamped with a UTC
+    timestamp; a corrupt or foreign file is replaced rather than raising
+    (benchmarks must not fail over a damaged report).
+    """
+    run = dict(run)
+    run.setdefault(
+        "timestamp", time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    )
+    doc = {"benchmark": benchmark, "runs": []}
+    try:
+        existing = json.loads(path.read_text())
+    except (OSError, ValueError):
+        existing = None
+    if isinstance(existing, dict) and existing.get("benchmark") == benchmark:
+        if isinstance(existing.get("runs"), list):
+            doc["runs"] = existing["runs"]
+        else:
+            # Legacy single-object report: preserve it as the first run.
+            legacy_run = {
+                k: v for k, v in existing.items() if k != "benchmark"
+            }
+            if legacy_run:
+                doc["runs"] = [legacy_run]
+    doc["runs"].append(run)
+    doc["latest"] = run
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc

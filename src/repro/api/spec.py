@@ -123,6 +123,12 @@ class RunSpec:
     #: Event kinds an attached tracer should keep (``None`` = all).
     #: Excluded from the cache key: observers never change results.
     events: Optional[tuple[str, ...]] = field(default=None, compare=False)
+    #: Whether to replay materialized trace buffers instead of running
+    #: the workload generators (``None`` = process default, i.e. enabled
+    #: unless ``REPRO_TRACE_CACHE=0``).  Excluded from the cache key:
+    #: replay is bit-identical by construction, so a replayed and a
+    #: generated run share a result-cache entry.
+    trace_cache: Optional[bool] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         # Coerce the convenient spellings (lists, strings, the config
@@ -151,6 +157,8 @@ class RunSpec:
             object.__setattr__(
                 self, "events", tuple(str(kind) for kind in self.events)
             )
+        if self.trace_cache is not None:
+            object.__setattr__(self, "trace_cache", bool(self.trace_cache))
 
     # ------------------------------------------------------------------ #
     # Validation
@@ -311,6 +319,7 @@ class RunSpec:
             "l2_paper_bytes": self.l2_paper_bytes,
             "prefetch": None if self.prefetch is None else list(self.prefetch),
             "events": None if self.events is None else list(self.events),
+            "trace_cache": self.trace_cache,
         }
 
     @classmethod

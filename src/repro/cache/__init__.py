@@ -1,16 +1,27 @@
 """Cache substrate: geometry, insertion policies, arrays, L1 filter."""
 
-from repro.cache.cache import CacheArray, Line
+from repro.cache.cache import (
+    CACHE_BACKENDS,
+    CacheArray,
+    DictCacheArray,
+    Line,
+    SlotCacheArray,
+    resolve_backend,
+)
 from repro.cache.geometry import CacheGeometry
 from repro.cache.insertion import DEFAULT_EPSILON, InsertionPolicy, insertion_position
 from repro.cache.l1 import L1Cache
 
 __all__ = [
+    "CACHE_BACKENDS",
     "CacheArray",
     "CacheGeometry",
     "DEFAULT_EPSILON",
+    "DictCacheArray",
     "InsertionPolicy",
     "L1Cache",
     "Line",
+    "SlotCacheArray",
     "insertion_position",
+    "resolve_backend",
 ]

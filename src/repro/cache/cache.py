@@ -1,22 +1,37 @@
-"""Set-associative cache array with explicit recency stacks.
+"""Set-associative cache arrays with explicit recency stacks.
 
-:class:`CacheArray` is the storage substrate shared by the private L2s, the
-banked shared LLC and the L1 filter caches.  Each set is an ordered mapping
-``line addr -> Line`` whose iteration order is the recency stack (first key
-= MRU, last key = LRU), which keeps the insertion-position semantics of
-BIP/SABIP direct — inserting a line at position *p* places it *p* steps from
-the top of the stack — while making the hot operations (hit probe, MRU
-promotion, LRU eviction, targeted removal) O(1) dictionary operations
-instead of linear scans over the set.
+Two interchangeable storage backends implement the same contract (the
+"kernel v2" tentpole):
 
-When constructed with a :class:`~repro.coherence.directory.PresenceDirectory`
-the array keeps the chip-wide presence map in sync on every fill, eviction
-and invalidation, so "last copy on chip" queries are always consistent with
-the actual contents.
+* :class:`SlotCacheArray` — the default.  One flat ``addr -> Line`` index
+  per array (addresses map to unique sets, so one hash probe replaces the
+  per-set mapping) plus per-set recency stacks of pooled line slots kept
+  as small C lists (MRU first).  Hits touch one dict probe and, only when
+  the line is not already MRU, one C-speed splice of an ≤8-entry list;
+  fills recycle evicted :class:`Line` slots through a free pool via
+  :meth:`~SlotCacheArray.fill_fields`/:meth:`~SlotCacheArray.release`,
+  so the steady-state hit/promote/evict path allocates nothing and never
+  rehashes an ordered mapping.
+* :class:`DictCacheArray` — the previous implementation, kept verbatim as
+  a reference: each set is an ordered mapping ``line addr -> Line`` whose
+  iteration order is the recency stack (first key = MRU).  It exists for
+  differential testing (``tests/test_cache_array_oracle.py`` drives both
+  backends with identical op streams) and as a config-selectable fallback.
+
+Both keep the insertion-position semantics of BIP/SABIP direct —
+inserting a line at position *p* places it *p* steps from the top of the
+stack — and when constructed with a
+:class:`~repro.coherence.directory.PresenceDirectory` they keep the
+chip-wide presence map in sync on every fill, eviction and invalidation.
+
+``CacheArray`` names the default backend; :func:`resolve_backend` maps a
+config string (``"slot"``/``"dict"``) to a class, honouring the
+``REPRO_CACHE_BACKEND`` environment variable for the default.
 """
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from itertools import islice
 from typing import Iterator, Optional
@@ -65,8 +80,8 @@ class Line:
         return f"Line({self.addr:#x},{self.state.value}{',' + flags if flags else ''})"
 
 
-class CacheArray:
-    """A set-associative cache with LRU recency stacks.
+class SlotCacheArray:
+    """A set-associative cache: flat line index + per-set slot stacks.
 
     Parameters
     ----------
@@ -91,10 +106,18 @@ class CacheArray:
         #: ``line_addr & set_mask`` is the set index (sets are a power of two).
         self.set_mask = geometry.sets - 1
         self._ways = geometry.ways
-        self._sets: list[OrderedDict[int, Line]] = [
-            OrderedDict() for _ in range(geometry.sets)
-        ]
-        self._len = 0
+        #: Per-set recency stacks, MRU first.  The stacks hold the *same*
+        #: Line objects as ``_index``; a stack never exceeds the ways, so
+        #: every splice is a C memmove over at most ``ways`` pointers.
+        self._stacks: list[list[Line]] = [[] for _ in range(geometry.sets)]
+        #: One flat ``addr -> Line`` map for the whole array: a line
+        #: address selects a unique set, so a single hash probe answers
+        #: probe/contains/lookup for every set at once.
+        self._index: dict[int, Line] = {}
+        #: Free slots recycled by :meth:`release` and reused by
+        #: :meth:`fill_fields`: the demand alloc/evict path reuses one
+        #: Line object per set-way instead of allocating per fill.
+        self._pool: list[Line] = []
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -105,28 +128,27 @@ class CacheArray:
 
         Returns the :class:`Line` on a hit, ``None`` on a miss.
         """
-        lines = self._sets[line_addr & self.set_mask]
-        line = lines.get(line_addr)
+        line = self._index.get(line_addr)
         if line is not None and promote:
-            lines.move_to_end(line_addr, last=False)
+            stack = self._stacks[line_addr & self.set_mask]
+            if stack[0] is not line:
+                stack.remove(line)
+                stack.insert(0, line)
         return line
 
     def probe(self, line_addr: int) -> Optional[Line]:
         """Find ``line_addr`` without touching recency state."""
-        return self._sets[line_addr & self.set_mask].get(line_addr)
+        return self._index.get(line_addr)
 
     def contains(self, line_addr: int) -> bool:
-        return line_addr in self._sets[line_addr & self.set_mask]
+        return line_addr in self._index
 
     def recency_position(self, line_addr: int) -> Optional[int]:
         """Stack position of a line (0 = MRU), or ``None`` if absent."""
-        lines = self._sets[line_addr & self.set_mask]
-        if line_addr not in lines:
+        line = self._index.get(line_addr)
+        if line is None:
             return None
-        for pos, addr in enumerate(lines):
-            if addr == line_addr:
-                return pos
-        raise AssertionError("set desync")  # pragma: no cover
+        return self._stacks[line_addr & self.set_mask].index(line)
 
     # ------------------------------------------------------------------ #
     # Fill / evict / invalidate
@@ -145,6 +167,184 @@ class CacheArray:
         set occupancy so "insert at LRU" works in a partially filled set.
         The line must not already be present.
         """
+        addr = line.addr
+        index = self._index
+        if addr in index:
+            raise ValueError(f"line {addr:#x} already present")
+        stack = self._stacks[addr & self.set_mask]
+        victim: Optional[Line] = None
+        occupancy = len(stack)
+        if occupancy >= self._ways:
+            victim = stack.pop(
+                occupancy - 1 if victim_position is None else victim_position
+            )
+            del index[victim.addr]
+            if self.directory is not None:
+                self.directory.remove(victim.addr, self.cache_id)
+            occupancy -= 1
+        if position <= 0:
+            stack.insert(0, line)
+        elif position >= occupancy:
+            stack.append(line)
+        else:
+            stack.insert(position, line)
+        index[addr] = line
+        if self.directory is not None:
+            self.directory.add(addr, self.cache_id)
+        return victim
+
+    def fill_fields(
+        self,
+        addr: int,
+        state: Mesi,
+        spilled: bool = False,
+        shared_region: bool = False,
+        prefetched: bool = False,
+        *,
+        position: int,
+        victim_position: Optional[int] = None,
+    ) -> Optional[Line]:
+        """Allocation-free :meth:`fill`: builds the line from a pooled slot.
+
+        Identical semantics to ``fill(Line(addr, state, ...), ...)`` except
+        the Line object is recycled from the free pool when one is
+        available (see :meth:`release`).
+        """
+        pool = self._pool
+        if pool:
+            line = pool.pop()
+            line.addr = addr
+            line.state = state
+            line.spilled = spilled
+            line.shared_region = shared_region
+            line.prefetched = prefetched
+        else:
+            line = Line(addr, state, spilled, shared_region, prefetched)
+        return self.fill(line, position, victim_position)
+
+    def release(self, line: Line) -> None:
+        """Return a detached line (an evict/invalidate result) to the pool.
+
+        The caller must hold the only reference: the slot's fields are
+        overwritten by the next :meth:`fill_fields`.
+        """
+        self._pool.append(line)
+
+    def evict(self, line_addr: int) -> Line:
+        """Remove a specific line (e.g. the swap partner) and return it."""
+        line = self._index.pop(line_addr, None)
+        if line is None:
+            raise KeyError(f"line {line_addr:#x} not present")
+        self._stacks[line_addr & self.set_mask].remove(line)
+        if self.directory is not None:
+            self.directory.remove(line_addr, self.cache_id)
+        return line
+
+    def invalidate(self, line_addr: int) -> Optional[Line]:
+        """Remove a line if present (coherence invalidation, back-inval)."""
+        line = self._index.pop(line_addr, None)
+        if line is None:
+            return None
+        self._stacks[line_addr & self.set_mask].remove(line)
+        if self.directory is not None:
+            self.directory.remove(line_addr, self.cache_id)
+        return line
+
+    def victim_candidate(self, set_idx: int, position: Optional[int] = None) -> Optional[Line]:
+        """Peek at the line that :meth:`fill` would evict (LRU by default).
+
+        Returns ``None`` while the set still has free ways.
+        """
+        stack = self._stacks[set_idx]
+        occupancy = len(stack)
+        if occupancy < self._ways:
+            return None
+        if position is None:
+            return stack[occupancy - 1]
+        if not 0 <= position < occupancy:
+            raise IndexError(f"victim position {position} out of range")
+        return stack[position]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def set_lines(self, set_idx: int) -> list[Line]:
+        """The recency stack of a set (MRU first), as a snapshot list."""
+        return list(self._stacks[set_idx])
+
+    def occupancy(self, set_idx: int) -> int:
+        return len(self._stacks[set_idx])
+
+    def iter_lines(self) -> Iterator[Line]:
+        for stack in self._stacks:
+            yield from stack
+
+    def __len__(self) -> int:
+        """Number of valid lines currently stored."""
+        return len(self._index)
+
+
+class DictCacheArray:
+    """Reference backend: each set is an ordered ``addr -> Line`` mapping.
+
+    This is the pre-kernel-v2 implementation, kept bit-for-bit so the
+    differential fuzz harness can drive both backends with identical op
+    streams, and selectable via ``SystemConfig.cache_backend = "dict"``.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        cache_id: int = 0,
+        directory: Optional[PresenceDirectory] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.cache_id = cache_id
+        self.directory = directory
+        self.set_mask = geometry.sets - 1
+        self._ways = geometry.ways
+        self._sets: list[OrderedDict[int, Line]] = [
+            OrderedDict() for _ in range(geometry.sets)
+        ]
+        self._len = 0
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, line_addr: int, promote: bool = True) -> Optional[Line]:
+        lines = self._sets[line_addr & self.set_mask]
+        line = lines.get(line_addr)
+        if line is not None and promote:
+            lines.move_to_end(line_addr, last=False)
+        return line
+
+    def probe(self, line_addr: int) -> Optional[Line]:
+        return self._sets[line_addr & self.set_mask].get(line_addr)
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self._sets[line_addr & self.set_mask]
+
+    def recency_position(self, line_addr: int) -> Optional[int]:
+        lines = self._sets[line_addr & self.set_mask]
+        if line_addr not in lines:
+            return None
+        for pos, addr in enumerate(lines):
+            if addr == line_addr:
+                return pos
+        raise AssertionError("set desync")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # Fill / evict / invalidate
+    # ------------------------------------------------------------------ #
+
+    def fill(
+        self,
+        line: Line,
+        position: int,
+        victim_position: Optional[int] = None,
+    ) -> Optional[Line]:
         addr = line.addr
         lines = self._sets[addr & self.set_mask]
         if addr in lines:
@@ -171,8 +371,28 @@ class CacheArray:
             self.directory.add(addr, self.cache_id)
         return victim
 
+    def fill_fields(
+        self,
+        addr: int,
+        state: Mesi,
+        spilled: bool = False,
+        shared_region: bool = False,
+        prefetched: bool = False,
+        *,
+        position: int,
+        victim_position: Optional[int] = None,
+    ) -> Optional[Line]:
+        """Field-based fill (no pooling: the reference stays allocation-per-fill)."""
+        return self.fill(
+            Line(addr, state, spilled, shared_region, prefetched),
+            position,
+            victim_position,
+        )
+
+    def release(self, line: Line) -> None:
+        """No-op: the reference backend does not recycle line objects."""
+
     def evict(self, line_addr: int) -> Line:
-        """Remove a specific line (e.g. the swap partner) and return it."""
         line = self._sets[line_addr & self.set_mask].pop(line_addr, None)
         if line is None:
             raise KeyError(f"line {line_addr:#x} not present")
@@ -180,7 +400,6 @@ class CacheArray:
         return line
 
     def invalidate(self, line_addr: int) -> Optional[Line]:
-        """Remove a line if present (coherence invalidation, back-inval)."""
         line = self._sets[line_addr & self.set_mask].pop(line_addr, None)
         if line is None:
             return None
@@ -188,10 +407,6 @@ class CacheArray:
         return line
 
     def victim_candidate(self, set_idx: int, position: Optional[int] = None) -> Optional[Line]:
-        """Peek at the line that :meth:`fill` would evict (LRU by default).
-
-        Returns ``None`` while the set still has free ways.
-        """
         lines = self._sets[set_idx]
         if len(lines) < self._ways:
             return None
@@ -206,7 +421,6 @@ class CacheArray:
     # ------------------------------------------------------------------ #
 
     def set_lines(self, set_idx: int) -> list[Line]:
-        """The recency stack of a set (MRU first), as a snapshot list."""
         return list(self._sets[set_idx].values())
 
     def occupancy(self, set_idx: int) -> int:
@@ -217,7 +431,6 @@ class CacheArray:
             yield from lines.values()
 
     def __len__(self) -> int:
-        """Number of valid lines currently stored."""
         return self._len
 
     # ------------------------------------------------------------------ #
@@ -228,3 +441,35 @@ class CacheArray:
         self._len -= 1
         if self.directory is not None:
             self.directory.remove(line.addr, self.cache_id)
+
+
+#: The default backend: what plain ``CacheArray(...)`` constructs.
+CacheArray = SlotCacheArray
+
+#: Config-string -> backend class (``SystemConfig.cache_backend``).
+CACHE_BACKENDS = {"slot": SlotCacheArray, "dict": DictCacheArray}
+
+
+def default_backend() -> str:
+    """The backend name used when config leaves the choice open.
+
+    ``REPRO_CACHE_BACKEND`` overrides the built-in default, so CI can run
+    the whole suite (golden digests included) against either backend
+    without touching config call sites.
+    """
+    name = os.environ.get("REPRO_CACHE_BACKEND", "slot")
+    if name not in CACHE_BACKENDS:
+        raise ValueError(
+            f"REPRO_CACHE_BACKEND={name!r} unknown; choose from {sorted(CACHE_BACKENDS)}"
+        )
+    return name
+
+
+def resolve_backend(name: str):
+    """Map a ``cache_backend`` config value to its array class."""
+    try:
+        return CACHE_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown cache backend {name!r}; choose from {sorted(CACHE_BACKENDS)}"
+        ) from None

@@ -6,36 +6,43 @@ are (a) filtering the access stream the L2 sees and (b) being
 back-invalidated when the inclusive L2 drops a line.  This module models
 exactly that: LRU, write-through (stores never create dirty L1 state),
 write-allocate, with an ``invalidate`` hook for inclusion.
+
+The L1 never needs line state or flags — membership and recency are the
+whole model — so kernel v2 stores bare line addresses in per-set ordered
+mappings (first key = MRU): no :class:`~repro.cache.cache.Line` object is
+ever allocated on this path, which previously cost one allocation per L1
+fill (one per L1 miss, i.e. per simulated L2 access).
 """
 
 from __future__ import annotations
 
-from repro.cache.cache import CacheArray, Line
+from collections import OrderedDict
+from typing import Iterator
+
 from repro.cache.geometry import CacheGeometry
-from repro.coherence.protocol import Mesi
 
 
 class L1Cache:
     """A small LRU filter cache in front of a private L2."""
 
     def __init__(self, geometry: CacheGeometry) -> None:
-        self._array = CacheArray(geometry)
-        # The L1 filters every single trace record, so ``access`` inlines
-        # the array's probe-and-promote against its internal stacks.
-        self._sets = self._array._sets
-        self._mask = self._array.set_mask
+        self.geometry = geometry
+        self._mask = geometry.sets - 1
         self._ways = geometry.ways
+        #: Per-set recency stacks: ordered ``line addr -> None`` mappings,
+        #: first key = MRU.  The L1 filters every single trace record, so
+        #: ``access`` runs directly against these.
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(geometry.sets)
+        ]
         # Per-set MRU line address: consecutive touches of the same line
         # (the dominant pattern under dwell) hit with one list index and
         # one compare, skipping the stack update that would be a no-op.
         self._mru = [-1] * geometry.sets
+        self._len = 0
         self.hits = 0
         self.misses = 0
         self.back_invalidations = 0
-
-    @property
-    def geometry(self) -> CacheGeometry:
-        return self._array.geometry
 
     def access(self, line_addr: int) -> bool:
         """Look up a line, promoting on hit.  Returns True on hit.
@@ -63,31 +70,36 @@ class L1Cache:
         lines = self._sets[set_idx]
         if line_addr in lines:
             return
-        # Specialised MRU fill: the L1 has no directory and always inserts
-        # at the top of the stack, so the generic positional path is skipped.
         if len(lines) >= self._ways:
             evicted = lines.popitem()[0]
             if self._mru[set_idx] == evicted:  # only possible when ways == 1
                 self._mru[set_idx] = -1
         else:
-            self._array._len += 1
-        lines[line_addr] = Line(line_addr, Mesi.EXCLUSIVE)
+            self._len += 1
+        lines[line_addr] = None
         lines.move_to_end(line_addr, last=False)
         self._mru[set_idx] = line_addr
 
     def invalidate(self, line_addr: int) -> bool:
         """Back-invalidation from the inclusive L2.  Returns True if held."""
-        line = self._array.invalidate(line_addr)
-        if line is not None:
-            set_idx = line_addr & self._mask
-            if self._mru[set_idx] == line_addr:
-                self._mru[set_idx] = -1
-            self.back_invalidations += 1
-            return True
-        return False
+        set_idx = line_addr & self._mask
+        lines = self._sets[set_idx]
+        if line_addr not in lines:
+            return False
+        del lines[line_addr]
+        self._len -= 1
+        if self._mru[set_idx] == line_addr:
+            self._mru[set_idx] = -1
+        self.back_invalidations += 1
+        return True
 
     def contains(self, line_addr: int) -> bool:
-        return self._array.contains(line_addr)
+        return line_addr in self._sets[line_addr & self._mask]
+
+    def resident_addrs(self) -> Iterator[int]:
+        """Every line address currently held (inclusion checks)."""
+        for lines in self._sets:
+            yield from lines
 
     def __len__(self) -> int:
-        return len(self._array)
+        return self._len

@@ -66,7 +66,10 @@ cache hits vs simulations — there instead of next to the cache) and
 per-cell timings, queue latency, worker utilization, cache hit rates).
 An interrupted sweep (``Ctrl-C``/OOM) keeps every completed cell in the
 cache; re-running the same command resumes, simulating only what
-remains.  The hidden ``REPRO_FAULT_PLAN`` environment variable (e.g.
+remains.  ``--trace-cache/--no-trace-cache`` (every simulating command)
+toggles the materialized-trace layer — workload access traces drained
+once and replayed bit-identically across repeats, sizes and schemes —
+overriding the ``REPRO_TRACE_CACHE`` environment default (on).  The hidden ``REPRO_FAULT_PLAN`` environment variable (e.g.
 ``"crash=1,hang=1,seed=7"``) injects deterministic worker faults for
 chaos runs; see :mod:`repro.experiments.faults`.
 """
@@ -75,6 +78,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Mapping
 
@@ -168,6 +172,7 @@ _FLAG_FOR_FIELD = {
     "warmup": "--warmup",
     "seed": "--seed",
     "events": "--events",
+    "trace_cache": "--trace-cache",
 }
 
 
@@ -200,6 +205,7 @@ def _spec_from_args(args: argparse.Namespace, **overrides) -> RunSpec:
         quota=args.quota,
         warmup=args.warmup,
         seed=args.seed,
+        trace_cache=getattr(args, "trace_cache", None),
     )
     params.update(overrides)
     try:
@@ -571,6 +577,16 @@ def build_parser() -> argparse.ArgumentParser:
             "result-cache hit rates)",
         )
 
+    def add_trace_cache_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace-cache",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help="materialize each workload's access trace once and "
+            "replay it across repeats/sizes/schemes (bit-identical; "
+            "default: on, or the REPRO_TRACE_CACHE environment variable)",
+        )
+
     def add_spec_flags(p: argparse.ArgumentParser) -> None:
         """The flags describing one RunSpec, registered identically
         everywhere; boundary policing happens in ``RunSpec.validate``."""
@@ -586,17 +602,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="simulate one mix under one scheme")
     add_spec_flags(run_p)
     add_parallel_flags(run_p)
+    add_trace_cache_flag(run_p)
     run_p.set_defaults(fn=_cmd_run)
 
     exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
     exp_p.add_argument("name", help=", ".join(sorted(_EXPERIMENTS)))
     add_parallel_flags(exp_p)
+    add_trace_cache_flag(exp_p)
     exp_p.set_defaults(fn=_cmd_experiment)
 
     cal_p = sub.add_parser("calibrate", help="compare models against Table 3")
     cal_p.add_argument("--quota", type=_positive_int("--quota"), default=100_000)
     cal_p.add_argument("--warmup", type=_nonnegative_int("--warmup"), default=60_000)
     add_parallel_flags(cal_p)
+    add_trace_cache_flag(cal_p)
     cal_p.set_defaults(fn=_cmd_calibrate)
 
     batch_p = sub.add_parser(
@@ -609,6 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
         "RunSpec objects (mix, scheme, quota, ...); '-' reads stdin",
     )
     add_parallel_flags(batch_p)
+    add_trace_cache_flag(batch_p)
     batch_p.set_defaults(fn=_cmd_batch)
 
     serve_p = sub.add_parser(
@@ -627,6 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
         "omit PORT to pick a free one",
     )
     add_parallel_flags(serve_p)
+    add_trace_cache_flag(serve_p)
     serve_p.set_defaults(fn=_cmd_serve)
 
     stats_p = sub.add_parser(
@@ -646,6 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also dump the full time-series (with raw deltas and SSL "
         "snapshots) as JSON here",
     )
+    add_trace_cache_flag(stats_p)
     stats_p.set_defaults(fn=_cmd_stats)
 
     trace_p = sub.add_parser(
@@ -671,6 +693,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the JSONL here instead of stdout",
     )
+    add_trace_cache_flag(trace_p)
     trace_p.set_defaults(fn=_cmd_trace)
     return parser
 
@@ -678,6 +701,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    trace_cache = getattr(args, "trace_cache", None)
+    if trace_cache is not None:
+        # The env variable is the process-wide default `env_enabled`
+        # reads, and worker processes inherit it — so the flag reaches
+        # every simulation path, spec-built or not.
+        os.environ["REPRO_TRACE_CACHE"] = "1" if trace_cache else "0"
     try:
         return args.fn(args)
     except KeyboardInterrupt:

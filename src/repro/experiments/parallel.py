@@ -48,6 +48,8 @@ from repro.experiments.faults import FaultPlan, apply_fault, fault_plan_from_env
 from repro.experiments.runner import ExperimentRunner, simulate_spec
 from repro.experiments.supervision import RunReport, Supervisor
 from repro.sim.results import SystemResult
+from repro.workloads.mixes import make_workloads
+from repro.workloads.trace_cache import env_enabled, get_trace_cache
 
 #: The cache format version now lives with the canonical key —
 #: :data:`repro.api.spec.CACHE_FORMAT_VERSION` — since the key *is* the
@@ -130,10 +132,14 @@ class ResultCache:
 
         Tmp names embed the writer's PID; a tmp whose process no longer
         exists (or whose name does not parse) is stranded and removed.
-        Live writers sharing the cache directory are left alone.
+        Live writers sharing the cache directory are left alone, and so
+        is the trace store (``_traces/``), which shares the cache root
+        but manages its own files.
         """
         removed = 0
         for tmp in self.root.glob("*/.*.tmp"):
+            if tmp.parent.name == "_traces":
+                continue  # the trace cache owns its directory
             try:
                 pid = int(tmp.name.rsplit(".", 2)[-2])
             except (ValueError, IndexError):
@@ -226,6 +232,12 @@ def _simulate_cell(payload: dict) -> tuple[Cell, object]:
     :mod:`repro.experiments.faults`) fires here, before the simulation.
     """
     spec = RunSpec.from_dict(payload["spec"])
+    traces = payload.get("traces")
+    if traces:
+        # Parent-exported shared-memory trace buffers: register them so
+        # this worker replays instead of regenerating (lazy attach on
+        # first use; a vanished segment just falls back to generation).
+        get_trace_cache().attach_shared(traces)
     fault = payload.get("fault")
     if fault is not None:
         injected = apply_fault(fault, in_process=payload.get("fault_in_process", False))
@@ -261,6 +273,14 @@ class ParallelRunner(ExperimentRunner):
         super().__init__(**kwargs)
         self.jobs = max(1, int(jobs))
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        if cache_dir is not None and env_enabled():
+            # Trace buffers persist beside the result cache (one root,
+            # two stores): a later run replays streams from disk even
+            # when every result cell misses (e.g. a new scheme).
+            get_trace_cache().set_cache_dir(cache_dir)
+        #: ``digest -> shared-memory name`` shipped with worker payloads
+        #: while a fan-out is running (empty otherwise).
+        self._trace_map: dict[str, str] = {}
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
@@ -280,7 +300,10 @@ class ParallelRunner(ExperimentRunner):
         return self.spec(codes, scheme).cache_key()
 
     def _payload(self, cell: Cell) -> dict:
-        return {"spec": self.spec(*cell).to_dict()}
+        payload = {"spec": self.spec(*cell).to_dict()}
+        if self._trace_map:
+            payload["traces"] = self._trace_map
+        return payload
 
     def _store(self, cell: Cell, result: SystemResult) -> None:
         self._results[cell] = result
@@ -301,6 +324,8 @@ class ParallelRunner(ExperimentRunner):
                 return found
         result = self._simulate(*cell)
         self._store(cell, result)
+        if self.cache is not None:
+            get_trace_cache().persist()
         return result
 
     def prewarm(
@@ -368,6 +393,24 @@ class ParallelRunner(ExperimentRunner):
             self._write_metrics(report)
             return report
 
+        trace_cache = get_trace_cache() if env_enabled() else None
+        if trace_cache is not None:
+            # Materialize each distinct mix's record streams once in the
+            # parent (disk-backed streams load instead of generating) so
+            # N workers replay shared buffers instead of generating N
+            # copies.  Streams dedup by content digest, so the cross-size
+            # and cross-scheme cells of a sweep all map to one buffer.
+            for codes in dict.fromkeys(cell[0] for cell in missing):
+                trace_cache.materialize_for_run(
+                    make_workloads(codes, self.scale),
+                    self.seed,
+                    self.quota,
+                    self.warmup,
+                )
+            trace_cache.persist()
+            if self.jobs > 1:
+                self._trace_map = trace_cache.export_shared()
+
         supervisor = Supervisor(
             _simulate_cell,
             self._payload,
@@ -384,6 +427,9 @@ class ParallelRunner(ExperimentRunner):
         try:
             supervisor.run(missing)
         finally:
+            self._trace_map = {}
+            if trace_cache is not None:
+                trace_cache.close_shared()
             # Interrupted or failed sweeps still leave their metrics, like
             # the JSON report the supervisor writes on the same paths.
             self._write_metrics(report)

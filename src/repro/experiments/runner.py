@@ -30,6 +30,7 @@ from repro.sim.engine import Engine
 from repro.sim.results import SystemResult
 from repro.sim.system import PrivateHierarchy, SharedHierarchy
 from repro.workloads.mixes import make_workloads, mix_name
+from repro.workloads.trace_cache import env_enabled, get_trace_cache
 
 #: Scheme name handled by the runner rather than the policy registry.
 SHARED_SCHEME = "shared"
@@ -66,6 +67,15 @@ def simulate_spec(spec: RunSpec, observer=None) -> SystemResult:
     scale: ScaleModel = params["scale"]
     codes = spec.mix
     workloads = make_workloads(codes, scale)
+    use_traces = spec.trace_cache if spec.trace_cache is not None else env_enabled()
+    if use_traces:
+        # Replace each benchmark's generator with a replay of its
+        # materialized record buffer (generated once per process, shared
+        # across schemes/sizes/repeats).  Bit-identical by construction;
+        # workloads without a trace signature fall through untouched.
+        workloads = get_trace_cache().wrap_workloads(
+            workloads, spec.seed, spec.quota, spec.warmup
+        )
     config = default_config(
         num_cores=len(codes),
         scale=scale,

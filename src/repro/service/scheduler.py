@@ -56,6 +56,9 @@ from repro.experiments.supervision import (
     Supervisor,
 )
 from repro.sim.results import SystemResult
+from repro.sim.config import ScaleModel
+from repro.workloads.mixes import make_workloads
+from repro.workloads.trace_cache import env_enabled, get_trace_cache
 
 
 class JobFailed(RuntimeError):
@@ -119,6 +122,9 @@ def _run_spec(payload: dict):
     path too.
     """
     spec = RunSpec.from_dict(payload["spec"])
+    traces = payload.get("traces")
+    if traces:
+        get_trace_cache().attach_shared(traces)
     fault = payload.get("fault")
     if fault is not None:
         from repro.experiments.faults import apply_fault
@@ -155,6 +161,10 @@ class BatchScheduler:
         self.retries = retries
         self.backoff = backoff
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        if cache_dir is not None and env_enabled():
+            # Share one disk root with the result cache: trace buffers
+            # live under ``<cache_dir>/_traces`` (see parallel.ResultCache).
+            get_trace_cache().set_cache_dir(cache_dir)
         if report_path is None and cache_dir is not None:
             report_path = Path(cache_dir) / "run_report.json"
         self.report_path = report_path
@@ -376,9 +386,36 @@ class BatchScheduler:
 
         started = time.monotonic()
         self._batch_started = {entry.spec: started for entry in todo}
+
+        # Materialize each distinct workload's record streams once before
+        # the fan-out; specs differing only in scheme or cache size share
+        # buffers (content digests dedup them), and with jobs > 1 workers
+        # attach the parent's shared-memory copies instead of generating.
+        trace_map: dict[str, str] = {}
+        trace_cache = get_trace_cache() if env_enabled() else None
+        if trace_cache is not None:
+            streams = dict.fromkeys(
+                (spec.mix, spec.scale, spec.seed, spec.quota, spec.warmup)
+                for spec in (entry.spec for entry in todo)
+                if spec.trace_cache is not False
+            )
+            for mix, scale, seed, quota, warmup in streams:
+                trace_cache.materialize_for_run(
+                    make_workloads(mix, ScaleModel(scale)), seed, quota, warmup
+                )
+            trace_cache.persist()
+            if self.jobs > 1:
+                trace_map = trace_cache.export_shared()
+
+        def _payload(spec: RunSpec) -> dict:
+            payload = {"spec": spec.to_dict()}
+            if trace_map and spec.trace_cache is not False:
+                payload["traces"] = trace_map
+            return payload
+
         supervisor = Supervisor(
             _run_spec,
-            lambda spec: {"spec": spec.to_dict()},
+            _payload,
             jobs=self.jobs,
             timeout=self.timeout,
             retries=self.retries,
@@ -401,6 +438,8 @@ class BatchScheduler:
         except KeyboardInterrupt:
             interrupted = True
         finally:
+            if trace_cache is not None:
+                trace_cache.close_shared()
             with self._lock:
                 self._current = None
         if interrupted:

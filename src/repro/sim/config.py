@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.cache.cache import CACHE_BACKENDS, default_backend
 from repro.cache.geometry import CacheGeometry
 from repro.interconnect.bus import LatencyModel
 
@@ -81,6 +82,10 @@ class SystemConfig:
     prefetch: Optional[PrefetchConfig] = None
     #: Instructions each core commits before its statistics freeze.
     quota: int = 200_000
+    #: Cache storage backend: "slot" (kernel v2 default) or "dict" (the
+    #: reference OrderedDict implementation, for differential testing).
+    #: Both are bit-identical; this knob never affects results.
+    cache_backend: str = "slot"
 
     def __post_init__(self) -> None:
         if self.num_cores <= 0:
@@ -89,6 +94,11 @@ class SystemConfig:
             raise ValueError("L1 and L2 must share a line size")
         if self.quota <= 0 or self.tick_interval <= 0:
             raise ValueError("quota and tick_interval must be positive")
+        if self.cache_backend not in CACHE_BACKENDS:
+            raise ValueError(
+                f"unknown cache backend {self.cache_backend!r}; "
+                f"choose from {sorted(CACHE_BACKENDS)}"
+            )
 
 
 def default_config(
@@ -98,8 +108,13 @@ def default_config(
     seed: int = 12345,
     l2_paper_bytes: int = PAPER_L2.size_bytes,
     prefetch: Optional[PrefetchConfig] = None,
+    cache_backend: Optional[str] = None,
 ) -> SystemConfig:
-    """The scaled equivalent of the paper's Table 2 configuration."""
+    """The scaled equivalent of the paper's Table 2 configuration.
+
+    ``cache_backend=None`` defers to ``REPRO_CACHE_BACKEND`` (default
+    "slot"), so CI can steer whole runs onto the reference backend.
+    """
     return SystemConfig(
         num_cores=num_cores,
         l2_geometry=scale.l2(l2_paper_bytes),
@@ -108,4 +123,5 @@ def default_config(
         seed=seed,
         quota=quota,
         prefetch=prefetch,
+        cache_backend=cache_backend if cache_backend is not None else default_backend(),
     )

@@ -73,8 +73,9 @@ class _CoreRun:
         "base_cpi",
         "mlp",
         "stats",
-        "l1_access",
-        "buf",
+        "l1",
+        "chunk",
+        "chunk_pos",
         "threshold",
         "state_threshold",
         "next_sample",
@@ -96,7 +97,10 @@ class _CoreRun:
         self.done = False
         self.base_cpi = workload.timing.base_cpi
         self.mlp = workload.timing.mlp
-        self.buf: Iterator[TraceRecord] = iter(())
+        #: Current record batch and the index of the next unconsumed
+        #: record — a list cursor, cheaper per record than an iterator.
+        self.chunk: list[TraceRecord] = []
+        self.chunk_pos = 0
         #: Next instruction count at which a state transition can happen:
         #: first the end of warmup, then the quota, then never again.
         self.state_threshold: float = warmup if warmup else quota
@@ -130,7 +134,7 @@ class Engine:
         ]
         for core in self.cores:
             core.stats = hierarchy.stats[core.core_id]  # type: ignore[attr-defined]
-            core.l1_access = hierarchy.l1s[core.core_id].access
+            core.l1 = hierarchy.l1s[core.core_id]
         self._offset_bits = hierarchy.l1s[0].geometry.offset_bits
         self._warming = warmup > 0
         self.observer = observer
@@ -183,35 +187,73 @@ class Engine:
         heap = [(c.cycles, c.core_id) for c in cores[1:]]
         heapify(heap)
         multi = len(cores) > 1
+        # Every L1 shares one geometry, so the set mask is loop-invariant.
+        l1_mask = l1s[0]._mask
+
+        # Cores hand the lead back and forth every few records, so the
+        # swap itself is hot.  Each core's loop state lives in one flat
+        # list; a switch is then three list stores plus a single
+        # 12-element unpack instead of a dozen attribute accesses.
+        # Layout: [cycles, instructions, threshold, base_cpi, mlp,
+        #          chunk, chunk_pos, chunk_len, l1, l1_mru, l1_sets,
+        #          core_stats].
+        states = []
+        for c in cores:
+            c_l1 = l1s[c.core_id]
+            states.append(
+                [
+                    c.cycles,
+                    c.instructions,
+                    c.threshold,
+                    c.base_cpi,
+                    c.mlp,
+                    c.chunk,
+                    c.chunk_pos,
+                    len(c.chunk),
+                    c_l1,
+                    c_l1._mru,
+                    c_l1._sets,
+                    c.stats,
+                ]
+            )
 
         core_id = core.core_id
-        cycles = core.cycles
-        instructions = core.instructions
-        threshold = core.threshold
-        base_cpi = core.base_cpi
-        mlp = core.mlp
-        buf = core.buf
-        l1_access = core.l1_access
-        l1 = l1s[core_id]
-        l1_mru = l1._mru
-        l1_mask = l1._mask
-        core_stats = core.stats
+        state = states[core_id]
+        (
+            cycles,
+            instructions,
+            threshold,
+            base_cpi,
+            mlp,
+            chunk,
+            chunk_pos,
+            chunk_len,
+            l1,
+            l1_mru,
+            l1_sets,
+            core_stats,
+        ) = state
         recording = core_stats.recording
 
         while remaining:
             # Traces are consumed in per-core batches: each core's record
             # stream depends only on its own RNG and component state, so
             # draining the generator a chunk at a time yields the same
-            # records while amortising the per-record resume cost.
-            record = next(buf, None)
-            if record is None:
+            # records while amortising the per-record resume cost.  The
+            # batch is walked with a list cursor — one index and one
+            # compare per record instead of an iterator call.
+            if chunk_pos < chunk_len:
+                record = chunk[chunk_pos]
+                chunk_pos += 1
+            else:
                 chunk = list(islice(core.trace, 1024))
                 if not chunk:  # trace exhausted: restart it, like the paper
                     core.trace = iter(core.workload.trace(core.rng))
                     continue
-                buf = core.buf = iter(chunk)
+                state[5] = core.chunk = chunk
+                state[7] = chunk_len = len(chunk)
                 record = chunk[0]
-                next(buf)
+                chunk_pos = 1
             gap, pc, addr, is_write = record
             committed = gap + 1
             instructions += committed
@@ -221,14 +263,24 @@ class Engine:
                 core_stats.instructions += committed
 
             line_addr = addr >> offset_bits
-            # Inlined L1 MRU shortcut: most records re-touch the line the
-            # set served last (dwell), where ``L1Cache.access`` would just
-            # count a hit — skip the call and count it here.
-            if l1_mru[line_addr & l1_mask] == line_addr:
+            set_idx = line_addr & l1_mask
+            # Fully inlined L1 probe.  Most records re-touch the line the
+            # set served last (dwell) — one list index and one compare;
+            # the rest do the membership test and promotion here, saving
+            # a method call per record.
+            if l1_mru[set_idx] == line_addr:
                 l1.hits += 1
                 hit = True
             else:
-                hit = l1_access(line_addr)
+                lines = l1_sets[set_idx]
+                if line_addr in lines:
+                    lines.move_to_end(line_addr, False)
+                    l1_mru[set_idx] = line_addr
+                    l1.hits += 1
+                    hit = True
+                else:
+                    l1.misses += 1
+                    hit = False
             if hit:
                 if is_write:
                     write_through(core_id, line_addr)
@@ -285,35 +337,47 @@ class Engine:
                     core.next_sample = next_sample
                 # With no observer next_sample is inf, so this is the old
                 # state threshold and the compare sequence is unchanged.
-                core.threshold = threshold = (
+                state[2] = core.threshold = threshold = (
                     core.state_threshold
                     if core.state_threshold <= core.next_sample
                     else core.next_sample
                 )
 
             if multi:
-                entry = (cycles, core_id)
+                # Same total order as ``(root < (cycles, core_id))`` but
+                # without allocating the entry tuple unless the lead
+                # actually changes hands (the root's id never equals
+                # ``core_id`` — the running core is not in the heap).
                 root = heap[0]
-                if root < entry:  # another core is now further behind
-                    core.cycles = cycles
-                    core.instructions = instructions
-                    heapreplace(heap, entry)
-                    core = cores[root[1]]
-                    core_id = core.core_id
-                    cycles = core.cycles
-                    instructions = core.instructions
-                    threshold = core.threshold
-                    base_cpi = core.base_cpi
-                    mlp = core.mlp
-                    buf = core.buf
-                    l1_access = core.l1_access
-                    l1 = l1s[core_id]
-                    l1_mru = l1._mru
-                    l1_mask = l1._mask
-                    core_stats = core.stats
+                root_cycles = root[0]
+                if root_cycles < cycles or (
+                    root_cycles == cycles and root[1] < core_id
+                ):
+                    state[0] = core.cycles = cycles
+                    state[1] = core.instructions = instructions
+                    state[6] = chunk_pos
+                    heapreplace(heap, (cycles, core_id))
+                    core_id = root[1]
+                    core = cores[core_id]
+                    state = states[core_id]
+                    (
+                        cycles,
+                        instructions,
+                        threshold,
+                        base_cpi,
+                        mlp,
+                        chunk,
+                        chunk_pos,
+                        chunk_len,
+                        l1,
+                        l1_mru,
+                        l1_sets,
+                        core_stats,
+                    ) = state
                     recording = core_stats.recording
 
         core.cycles = cycles
         core.instructions = instructions
+        core.chunk_pos = chunk_pos
         if observer is not None:
             observer.finish()

@@ -29,7 +29,7 @@ import abc
 from random import Random
 from typing import Optional
 
-from repro.cache.cache import CacheArray, Line
+from repro.cache.cache import CacheArray, Line, resolve_backend
 from repro.cache.geometry import CacheGeometry
 from repro.cache.l1 import L1Cache
 from repro.coherence.directory import PresenceDirectory
@@ -71,8 +71,13 @@ class PrivateHierarchy(MemoryHierarchy):
         self.policy = policy
         self.rng = Random(config.seed)
         self.directory = PresenceDirectory(config.num_cores)
+        # The module-global ``CacheArray`` (not the registry) names the
+        # default backend so the legacy benchmark can patch it; "dict"
+        # explicitly selects the reference backend for differential runs.
+        backend = getattr(config, "cache_backend", "slot")
+        array_cls = CacheArray if backend == "slot" else resolve_backend(backend)
         self.l2s = [
-            CacheArray(config.l2_geometry, cache_id=i, directory=self.directory)
+            array_cls(config.l2_geometry, cache_id=i, directory=self.directory)
             for i in range(config.num_cores)
         ]
         self.l1s = [L1Cache(config.l1_geometry) for _ in range(config.num_cores)]
@@ -86,22 +91,24 @@ class PrivateHierarchy(MemoryHierarchy):
         self._accesses_since_tick = 0
         self._tick_interval = config.tick_interval
         self._lat = config.latencies
-        # Per-core bound methods for the hot access path: one list index
+        # Hot-path constants and per-core bound methods: one list index
         # instead of two attribute chases plus a method bind per call.
+        self._set_mask = config.l2_geometry.sets - 1
+        self._lat_local = config.latencies.l2_local_hit
         self._l2_lookup = [l2.lookup for l2 in self.l2s]
+        self._l2_probe = [l2.probe for l2 in self.l2s]
         self._l1_allocate = [l1.allocate for l1 in self.l1s]
         policy.attach(config.num_cores, config.l2_geometry, Random(config.seed ^ 0x5BD1))
         policy.bind(self)
+        self._policy_on_access = policy.on_access
 
     # ------------------------------------------------------------------ #
     # Main access path
     # ------------------------------------------------------------------ #
 
     def access(self, core_id: int, line_addr: int, is_write: bool, pc: int) -> float:
-        lat = self._lat
-        cache = self.l2s[core_id]
         stats = self.stats[core_id]
-        set_idx = line_addr & cache.set_mask
+        set_idx = line_addr & self._set_mask
         # Inlined _bump_tick: this runs on every L2 access.
         ticks = self._accesses_since_tick + 1
         if ticks >= self._tick_interval:
@@ -117,7 +124,7 @@ class PrivateHierarchy(MemoryHierarchy):
             self._run_prefetcher(core_id, pc, line_addr)
 
         if line is not None:
-            self.policy.on_access(core_id, set_idx, "local")
+            self._policy_on_access(core_id, set_idx, "local")
             self.traffic.local_hits += 1
             if stats.recording:
                 stats.l2_local_hits += 1
@@ -127,7 +134,7 @@ class PrivateHierarchy(MemoryHierarchy):
             if is_write:
                 self._write_upgrade(core_id, line)
             self._l1_allocate[core_id](line_addr)
-            return lat.l2_local_hit
+            return self._lat_local
 
         # Local miss: snoop the chip (functional broadcast).
         self.traffic.snoop_broadcasts += 1
@@ -138,7 +145,7 @@ class PrivateHierarchy(MemoryHierarchy):
 
     def write_through(self, core_id: int, line_addr: int) -> None:
         """L1 store hit: update the inclusive L2 copy's state to M."""
-        line = self.l2s[core_id].probe(line_addr)
+        line = self._l2_probe[core_id](line_addr)
         if line is None:  # pragma: no cover - inclusion guarantees presence
             raise AssertionError(f"inclusion violated for line {line_addr:#x}")
         stats = self.stats[core_id]
@@ -258,8 +265,11 @@ class PrivateHierarchy(MemoryHierarchy):
             cache.evict(victim.addr)
             self.l1s[core_id].invalidate(victim.addr)
             self._dispose_victim(core_id, set_idx, victim, last_copy, migrated_holder)
+            # Disposal copied whatever it needed (spill fills build a new
+            # line from the victim's fields), so the slot can be recycled.
+            cache.release(victim)
         pos = policy.insertion_position(core_id, set_idx)
-        cache.fill(Line(line_addr, state), position=pos)
+        cache.fill_fields(line_addr, state, position=pos)
 
     def _dispose_victim(
         self,
@@ -312,10 +322,14 @@ class PrivateHierarchy(MemoryHierarchy):
                 if r_last:
                     # No cascading spills: displaced lines go to memory.
                     self._evict_to_memory(dst, r_victim)
-        spilled = Line(
-            victim.addr, victim.state, spilled=True, shared_region=True
+                cache.release(r_victim)
+        cache.fill_fields(
+            victim.addr,
+            victim.state,
+            True,  # spilled
+            True,  # shared_region
+            position=policy.spill_insertion_position(dst, set_idx),
         )
-        cache.fill(spilled, position=policy.spill_insertion_position(dst, set_idx))
         src_stats, dst_stats = self.stats[src], self.stats[dst]
         if swap:
             self.traffic.swaps += 1
@@ -353,7 +367,10 @@ class PrivateHierarchy(MemoryHierarchy):
             line.state = Mesi.MODIFIED
 
     def _invalidate_at(self, holder: int, line_addr: int) -> None:
-        self.l2s[holder].invalidate(line_addr)
+        cache = self.l2s[holder]
+        line = cache.invalidate(line_addr)
+        if line is not None:
+            cache.release(line)
         self.l1s[holder].invalidate(line_addr)
         self.traffic.invalidations += 1
 
@@ -386,9 +403,10 @@ class PrivateHierarchy(MemoryHierarchy):
                 self.l1s[core_id].invalidate(victim.addr)
                 if last:
                     self._evict_to_memory(core_id, victim)
+                cache.release(victim)
             # Install near LRU so useless prefetches pollute minimally.
             pos = max(0, cache.geometry.ways - 2)
-            cache.fill(Line(target, Mesi.EXCLUSIVE, prefetched=True), position=pos)
+            cache.fill_fields(target, Mesi.EXCLUSIVE, prefetched=True, position=pos)
             self.traffic.prefetch_fills += 1
             if stats.recording:
                 stats.prefetches_issued += 1
@@ -420,10 +438,10 @@ class PrivateHierarchy(MemoryHierarchy):
             if frozenset(holders) != self.directory.holders(addr):
                 raise AssertionError(f"directory desync for line {addr:#x}")
         for i, l1 in enumerate(self.l1s):
-            for line in l1._array.iter_lines():  # test-only introspection
-                if not self.l2s[i].contains(line.addr):
+            for addr in l1.resident_addrs():
+                if not self.l2s[i].contains(addr):
                     raise AssertionError(
-                        f"inclusion violated: L1[{i}] holds {line.addr:#x}"
+                        f"inclusion violated: L1[{i}] holds {addr:#x}"
                     )
 
 
@@ -465,7 +483,7 @@ class SharedHierarchy(MemoryHierarchy):
         if stats.recording:
             stats.l2_memory_fetches += 1
         state = Mesi.MODIFIED if is_write else Mesi.EXCLUSIVE
-        victim = self.llc.fill(Line(line_addr, state), position=0)
+        victim = self.llc.fill_fields(line_addr, state, position=0)
         if victim is not None:
             for l1 in self.l1s:
                 l1.invalidate(victim.addr)
@@ -473,6 +491,7 @@ class SharedHierarchy(MemoryHierarchy):
                 self.traffic.writebacks += 1
                 if stats.recording:
                     stats.writebacks += 1
+            self.llc.release(victim)
         self.l1s[core_id].allocate(line_addr)
         return self._latency + self.config.latencies.memory
 

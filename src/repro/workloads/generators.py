@@ -314,9 +314,34 @@ class MixtureTrace:
         span = gap_span + 1
         span_bits = span.bit_length()
         wfrac = self.write_fraction
-        single = len(parts) == 1
+        if len(parts) == 1:
+            # Single-component models skip the weight draw entirely, so
+            # the dwell repeat state can live in plain locals — no list
+            # indexing per record.  The rng call sequence (gap, write
+            # flag) is exactly that of the general loop below.
+            part_next = parts_next[0]
+            count = counts[0]
+            rem = remaining[0]
+            cur = current[0]
+            while True:
+                if count:
+                    if rem == 0:
+                        cur = part_next()
+                        rem = count
+                    rem -= 1
+                    pc, addr = cur
+                else:
+                    pc, addr = part_next()
+                if gap_span:
+                    r = getrandbits(span_bits)
+                    while r >= span:
+                        r = getrandbits(span_bits)
+                    gap = gap_min + r
+                else:
+                    gap = gap_min
+                yield gap, pc, addr, random() < wfrac
         while True:
-            i = 0 if single else bisect_left(cum, random())
+            i = bisect_left(cum, random())
             count = counts[i]
             if count:
                 rem = remaining[i]

@@ -140,6 +140,16 @@ class BenchmarkInstance:
     def name(self) -> str:
         return self.spec.label
 
+    def trace_signature(self) -> tuple:
+        """Stable description of the deterministic record stream.
+
+        ``trace(rng)`` is a pure function of this tuple plus the RNG seed:
+        the frozen spec fixes every component shape and mixture weight,
+        ``scale.scale`` fixes all derived geometry, and ``base`` fixes the
+        address layout.  The trace cache content-addresses buffers by it.
+        """
+        return (repr(self.spec), self.scale.scale, self.base)
+
     def trace(self, rng: Random) -> Iterator[tuple[int, int, int, bool]]:
         parts = []
         for i, comp_spec in enumerate(self.spec.components):

@@ -1,14 +1,26 @@
-"""Property test: ordered-dict CacheArray vs a list-based reference model.
+"""Differential fuzz: every CacheArray backend against every other.
 
-The recency stacks were rewritten from lists with linear scans to ordered
-mappings for speed.  This drives both implementations through random
-operation sequences and asserts they stay in lockstep: same hit/miss
-answers, same victims, same recency order in every set, same occupancy.
+Two layers of lockstep checking:
+
+* each registered backend (``slot``, ``dict``) against a brutally simple
+  list-based oracle — same hit/miss answers, same victims, same recency
+  order in every set, same occupancy after every operation;
+* the slot backend directly against the OrderedDict reference, with a
+  richer op stream (``fill_fields`` with states and flags, ``evict``,
+  victim ``release`` into the slot pool, in-place flag flips) asserting
+  the *full* per-line state — address, MESI state and all three
+  scheme flags — matches set by set.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cache.cache import CacheArray, Line
+from repro.cache.cache import (
+    CACHE_BACKENDS,
+    DictCacheArray,
+    Line,
+    SlotCacheArray,
+)
 from repro.cache.geometry import CacheGeometry
 from repro.coherence.protocol import Mesi
 
@@ -75,7 +87,7 @@ operations = st.one_of(
 )
 
 
-def stacks(array: CacheArray) -> list[list[int]]:
+def stacks(array) -> list[list[int]]:
     return [[l.addr for l in array.set_lines(i)] for i in range(SETS)]
 
 
@@ -83,10 +95,11 @@ def oracle_stacks(oracle: OracleArray) -> list[list[int]]:
     return [[l.addr for l in stack] for stack in oracle.sets]
 
 
+@pytest.mark.parametrize("backend", sorted(CACHE_BACKENDS))
 @settings(max_examples=200)
 @given(ops=st.lists(operations, max_size=60))
-def test_lockstep_with_reference_model(ops):
-    array, oracle = CacheArray(GEOMETRY), OracleArray()
+def test_lockstep_with_reference_model(backend, ops):
+    array, oracle = CACHE_BACKENDS[backend](GEOMETRY), OracleArray()
     for op in ops:
         if op[0] == "lookup":
             _, addr, promote = op
@@ -132,3 +145,129 @@ def test_lockstep_with_reference_model(ops):
             for pos, addr in enumerate(stack):
                 assert array.recency_position(addr) == pos
                 assert array.probe(addr) is not None
+
+
+# --------------------------------------------------------------------- #
+# Slot backend vs OrderedDict reference: full per-line state lockstep
+# --------------------------------------------------------------------- #
+
+STATES = list(Mesi)
+
+rich_operations = st.one_of(
+    st.tuples(st.just("lookup"), addresses, st.booleans()),
+    st.tuples(
+        st.just("fill"),
+        addresses,
+        st.sampled_from(STATES),
+        st.booleans(),  # spilled
+        st.booleans(),  # shared_region
+        st.booleans(),  # prefetched
+        st.integers(min_value=0, max_value=WAYS),  # insertion position
+        st.one_of(st.none(), st.integers(min_value=0, max_value=WAYS - 1)),
+    ),
+    st.tuples(st.just("invalidate"), addresses),
+    st.tuples(st.just("evict"), addresses),
+    st.tuples(
+        st.just("flags"),
+        addresses,
+        st.sampled_from(["state", "spilled", "shared_region", "prefetched"]),
+        st.sampled_from(STATES),
+        st.booleans(),
+    ),
+    st.tuples(
+        st.just("victim"),
+        st.integers(min_value=0, max_value=SETS - 1),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=WAYS - 1)),
+    ),
+)
+
+
+def full_state(array) -> list[list[tuple]]:
+    """Everything a backend divergence could disturb, set by set."""
+    return [
+        [
+            (l.addr, l.state, l.spilled, l.shared_region, l.prefetched)
+            for l in array.set_lines(i)
+        ]
+        for i in range(SETS)
+    ]
+
+
+@settings(max_examples=300)
+@given(ops=st.lists(rich_operations, max_size=80))
+def test_slot_and_dict_backends_lockstep(ops):
+    """Identical op streams leave both backends in identical full state.
+
+    The stream exercises the demand path the hierarchy actually drives:
+    ``fill_fields`` with arbitrary states and flags, victim ``release``
+    back into the slot backend's pool (so pooled-Line reuse is covered),
+    in-place flag flips on resident lines, evictions and invalidations.
+    """
+    arrays = (SlotCacheArray(GEOMETRY), DictCacheArray(GEOMETRY))
+    for op in ops:
+        if op[0] == "lookup":
+            _, addr, promote = op
+            got = [a.lookup(addr, promote=promote) for a in arrays]
+            assert (got[0] is None) == (got[1] is None)
+        elif op[0] == "fill":
+            _, addr, state, spilled, shared, pf, position, victim_position = op
+            if arrays[0].contains(addr):
+                continue
+            if victim_position is not None and victim_position >= arrays[
+                0
+            ].occupancy(addr & arrays[0].set_mask):
+                victim_position = None
+            victims = [
+                a.fill_fields(
+                    addr,
+                    state,
+                    spilled,
+                    shared,
+                    pf,
+                    position=position,
+                    victim_position=victim_position,
+                )
+                for a in arrays
+            ]
+            assert (victims[0] is None) == (victims[1] is None)
+            for a, victim in zip(arrays, victims):
+                if victim is not None:
+                    assert victim.addr == victims[0].addr
+                    a.release(victim)  # exercise the slot pool
+        elif op[0] == "invalidate":
+            _, addr = op
+            got = [a.invalidate(addr) for a in arrays]
+            assert (got[0] is None) == (got[1] is None)
+        elif op[0] == "evict":
+            _, addr = op
+            if not arrays[0].contains(addr):
+                continue
+            got = [a.evict(addr) for a in arrays]
+            assert got[0].addr == got[1].addr
+        elif op[0] == "flags":
+            _, addr, field, state, flag = op
+            lines = [a.probe(addr) for a in arrays]
+            assert (lines[0] is None) == (lines[1] is None)
+            for line in lines:
+                if line is None:
+                    continue
+                setattr(line, field, state if field == "state" else flag)
+        else:  # victim candidate peek
+            _, set_idx, position = op
+            if position is not None and position >= arrays[0].occupancy(set_idx):
+                position = None
+            got = [a.victim_candidate(set_idx, position) for a in arrays]
+            assert (got[0] is None) == (got[1] is None)
+            if got[0] is not None:
+                assert got[0].addr == got[1].addr
+        # Full-state equivalence after every operation: same stacks, same
+        # MESI states, same flags, same occupancy, same index answers.
+        assert full_state(arrays[0]) == full_state(arrays[1])
+        assert len(arrays[0]) == len(arrays[1])
+        for set_idx in range(SETS):
+            assert arrays[0].occupancy(set_idx) == arrays[1].occupancy(set_idx)
+            for line in arrays[1].set_lines(set_idx):
+                assert (
+                    arrays[0].recency_position(line.addr)
+                    == arrays[1].recency_position(line.addr)
+                )
