@@ -129,6 +129,12 @@ class RunSpec:
     #: replay is bit-identical by construction, so a replayed and a
     #: generated run share a result-cache entry.
     trace_cache: Optional[bool] = field(default=None, compare=False)
+    #: Per-request deadline in seconds (from submission): the batch
+    #: service fails the spec with ``DeadlineExceeded`` instead of
+    #: starting it past this budget, and caps the supervisor's per-cell
+    #: timeout with it.  Excluded from the cache key — *when* a result
+    #: must arrive never changes what it is.
+    deadline: Optional[float] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         # Coerce the convenient spellings (lists, strings, the config
@@ -159,6 +165,8 @@ class RunSpec:
             )
         if self.trace_cache is not None:
             object.__setattr__(self, "trace_cache", bool(self.trace_cache))
+        if self.deadline is not None:
+            object.__setattr__(self, "deadline", float(self.deadline))
 
     # ------------------------------------------------------------------ #
     # Validation
@@ -229,6 +237,12 @@ class RunSpec:
                     + f"known kinds: {', '.join(KNOWN_KINDS)}",
                     field="events",
                 )
+        if self.deadline is not None and self.deadline <= 0:
+            raise SpecError(
+                f"deadline must be a positive number of seconds, "
+                f"got {self.deadline}",
+                field="deadline",
+            )
         return self
 
     def _check_scheme(self) -> None:
@@ -320,6 +334,7 @@ class RunSpec:
             "prefetch": None if self.prefetch is None else list(self.prefetch),
             "events": None if self.events is None else list(self.events),
             "trace_cache": self.trace_cache,
+            "deadline": self.deadline,
         }
 
     @classmethod

@@ -414,44 +414,113 @@ def _scheduler_flags(args: argparse.Namespace) -> dict:
         retries=args.retries,
         report_path=args.report,
         metrics_path=args.metrics,
+        journal=args.journal,
+        hang_grace=args.hang_grace,
+        max_queue_depth=args.max_queue,
+        max_bytes=args.max_bytes,
+        shed_policy=args.shed_policy,
+        breaker_threshold=args.breaker_failures,
+        breaker_reset=args.breaker_reset,
     )
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.api.session import result_summary
-    from repro.service import run_batch
+    from concurrent.futures import CancelledError
 
-    if args.specs == "-":
-        text, source = sys.stdin.read(), "<stdin>"
-    else:
+    from repro.api.session import result_summary
+    from repro.service import BatchScheduler, JournalError
+
+    if args.resume:
+        if args.specs is not None:
+            raise _spec_error("--resume replays the journal; do not also pass a specs file")
+        if args.cache_dir is None:
+            raise _spec_error(
+                "--resume needs --cache-dir (the batch journal lives next "
+                "to the result cache)"
+            )
+        scheduler = BatchScheduler(**_scheduler_flags(args))
         try:
-            with open(args.specs) as stream:
-                text = stream.read()
-        except OSError as exc:
-            raise _spec_error(f"cannot read {args.specs!r}: {exc}") from None
-        source = args.specs
-    try:
-        specs, priorities = _parse_batch_specs(text, source)
-    except json.JSONDecodeError as exc:
-        raise _spec_error(f"{source}: not valid JSON: {exc}") from None
-    outcomes, stats, _report = run_batch(
-        specs, priorities=priorities, **_scheduler_flags(args)
-    )
-    failures = 0
-    for spec, outcome in zip(specs, outcomes):
-        if isinstance(outcome, BaseException) or outcome is None:
-            failures += 1
-            print(f"{spec.name}: FAILED: {outcome}")
-            continue
-        summary = result_summary(outcome)
+            summary = scheduler.resume_from_journal()
+        except JournalError as exc:
+            scheduler.close(drain=False)
+            raise _spec_error(str(exc)) from None
+        pairs = summary["futures"]
         print(
-            f"{spec.name}: digest {summary['digest'][:12]}  "
-            f"spills {summary['spills']}  offchip {summary['offchip_accesses']}"
+            f"resume: {summary['resumed']} outstanding spec(s) re-enqueued "
+            f"({summary['cache_resident']} cache-resident, "
+            f"{summary['done']} done in a previous run"
+            + (
+                f", {summary['corrupt_lines']} corrupt journal line(s) skipped"
+                if summary["corrupt_lines"]
+                else ""
+            )
+            + ")",
+            file=sys.stderr,
         )
+    else:
+        if args.specs is None:
+            raise _spec_error(
+                "a specs file is required (or --resume with --cache-dir)"
+            )
+        if args.specs == "-":
+            text, source = sys.stdin.read(), "<stdin>"
+        else:
+            try:
+                with open(args.specs) as stream:
+                    text = stream.read()
+            except OSError as exc:
+                raise _spec_error(f"cannot read {args.specs!r}: {exc}") from None
+            source = args.specs
+        try:
+            specs, priorities = _parse_batch_specs(text, source)
+        except json.JSONDecodeError as exc:
+            raise _spec_error(f"{source}: not valid JSON: {exc}") from None
+        scheduler = BatchScheduler(**_scheduler_flags(args))
+        pairs = []
+        try:
+            for spec, priority in zip(specs, priorities):
+                pairs.append((spec, scheduler.submit(spec, priority=priority)))
+        except BaseException:
+            scheduler.close(drain=False)
+            raise
+
+    failures = 0
+    try:
+        for spec, future in pairs:
+            try:
+                outcome = future.result()
+            except KeyboardInterrupt:
+                raise
+            except CancelledError:
+                failures += 1
+                print(f"{spec.name}: CANCELLED")
+                continue
+            except Exception as exc:  # noqa: BLE001 - surfaced per spec
+                failures += 1
+                print(f"{spec.name}: FAILED: {exc}")
+                continue
+            summary = result_summary(outcome)
+            print(
+                f"{spec.name}: digest {summary['digest'][:12]}  "
+                f"spills {summary['spills']}  offchip {summary['offchip_accesses']}"
+            )
+        scheduler.close(drain=True)
+    except KeyboardInterrupt:
+        # The journal keeps every outstanding submission: close without
+        # draining and the same command with --resume picks it back up.
+        scheduler.close(drain=False)
+        print(
+            "interrupted — completed results are cached; rerun with "
+            "--resume to finish the outstanding specs",
+            file=sys.stderr,
+        )
+        return 130
+    stats = scheduler.stats()
     print(
         f"batch: {stats.submitted} submitted — {stats.executed} simulated, "
         f"{stats.dedup_hits} deduplicated, {stats.cache_hits} cache hits, "
-        f"{stats.failed} failed",
+        f"{stats.failed} failed"
+        + (f", {stats.recovered} recovered" if stats.recovered else ""),
         file=sys.stderr,
     )
     return 1 if failures else 0
@@ -577,6 +646,66 @@ def build_parser() -> argparse.ArgumentParser:
             "result-cache hit rates)",
         )
 
+    def add_durability_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--no-journal",
+            dest="journal",
+            action="store_false",
+            default=True,
+            help="disable the crash-safe batch journal (on by default "
+            "when --cache-dir is set; required for --resume)",
+        )
+        p.add_argument(
+            "--hang-grace",
+            type=_positive_float("--hang-grace"),
+            default=None,
+            metavar="SECONDS",
+            help="worker heartbeat grace: a worker silent (busy, no "
+            "heartbeat) this long is killed and its cell retried "
+            "(default: watchdog off)",
+        )
+        p.add_argument(
+            "--max-queue",
+            type=_positive_int("--max-queue"),
+            default=None,
+            metavar="N",
+            help="admission control: refuse new submissions once N specs "
+            "are queued (HTTP 429 / per-line shed; default: unbounded)",
+        )
+        p.add_argument(
+            "--max-bytes",
+            type=_positive_int("--max-bytes"),
+            default=None,
+            metavar="BYTES",
+            help="admission control: refuse new submissions once the "
+            "queued specs' serialized size exceeds BYTES "
+            "(default: unbounded)",
+        )
+        p.add_argument(
+            "--shed-policy",
+            choices=("reject", "drop-oldest"),
+            default="reject",
+            help="what to do at the admission bound: 'reject' the "
+            "newcomer, or 'drop-oldest' — cancel the lowest-priority "
+            "queued spec to make room (default: reject)",
+        )
+        p.add_argument(
+            "--breaker-failures",
+            type=_positive_int("--breaker-failures"),
+            default=None,
+            metavar="N",
+            help="open a per-scheme circuit breaker after N consecutive "
+            "simulation failures for that scheme (default: breaker off)",
+        )
+        p.add_argument(
+            "--breaker-reset",
+            type=_positive_float("--breaker-reset"),
+            default=30.0,
+            metavar="SECONDS",
+            help="seconds an open breaker waits before letting one probe "
+            "submission through (default: 30)",
+        )
+
     def add_trace_cache_flag(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--trace-cache",
@@ -624,10 +753,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_p.add_argument(
         "specs",
+        nargs="?",
+        default=None,
         help="path to a JSON array / {'specs': [...]} / JSONL file of "
         "RunSpec objects (mix, scheme, quota, ...); '-' reads stdin",
     )
+    batch_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the batch journal in --cache-dir instead of reading "
+        "a specs file: re-enqueue every spec a previous (crashed or "
+        "interrupted) run left outstanding",
+    )
     add_parallel_flags(batch_p)
+    add_durability_flags(batch_p)
     add_trace_cache_flag(batch_p)
     batch_p.set_defaults(fn=_cmd_batch)
 
@@ -647,6 +786,7 @@ def build_parser() -> argparse.ArgumentParser:
         "omit PORT to pick a free one",
     )
     add_parallel_flags(serve_p)
+    add_durability_flags(serve_p)
     add_trace_cache_flag(serve_p)
     serve_p.set_defaults(fn=_cmd_serve)
 

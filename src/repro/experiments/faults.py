@@ -34,12 +34,13 @@ from __future__ import annotations
 
 import os
 import random
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 #: Fault kinds the worker knows how to apply (see :func:`apply_fault`).
-FAULT_KINDS = ("crash", "hang", "die", "corrupt")
+FAULT_KINDS = ("crash", "hang", "die", "corrupt", "stall_heartbeat", "crash_process")
 
 #: Default sleep for ``hang`` faults — long enough to trip any sane
 #: per-cell timeout, short enough that an orphaned worker exits soon.
@@ -63,6 +64,14 @@ class Fault:
         serial run is never killed).
         ``corrupt`` — return a non-result sentinel instead of the
         simulation output (fails the supervisor's validation).
+        ``stall_heartbeat`` — backdate the worker's heartbeat file to
+        the epoch and sleep ``seconds``: the worker looks silently hung
+        to the watchdog (which kills it) long before any per-cell
+        timeout fires.  Without a heartbeat directory it degrades to a
+        plain ``hang``.
+        ``crash_process`` — ``SIGKILL`` the worker's own process (the
+        hardest death: no Python teardown, breaks the pool; downgraded
+        to ``crash`` when applied in-process).
     ``attempt``
         The 1-based attempt number the fault fires on.  Any other
         attempt of the same cell runs clean, so a retried cell recovers.
@@ -91,13 +100,19 @@ class Fault:
 CORRUPTED_RESULT = "<<injected-corrupt-result>>"
 
 
-def apply_fault(fault: tuple[str, float], in_process: bool = False):
+def apply_fault(
+    fault: tuple[str, float],
+    in_process: bool = False,
+    heartbeat: Optional[str] = None,
+):
     """Execute a fault payload inside a worker.
 
     Returns :data:`CORRUPTED_RESULT` for ``corrupt`` faults and ``None``
-    for ``hang`` (after sleeping); raises or exits for the rest.  With
-    ``in_process=True`` a ``die`` fault is downgraded to ``crash`` so an
-    injected hard death can never kill the supervising process itself.
+    for ``hang``/``stall_heartbeat`` (after sleeping); raises or exits
+    for the rest.  With ``in_process=True`` the hard deaths (``die``,
+    ``crash_process``) are downgraded to ``crash`` so an injected death
+    can never kill the supervising process itself.  ``heartbeat`` is
+    the worker's heartbeat directory, if the watchdog is armed.
     """
     kind, seconds = fault
     if kind == "crash":
@@ -106,7 +121,17 @@ def apply_fault(fault: tuple[str, float], in_process: bool = False):
         if in_process:
             raise InjectedCrash("injected worker death (downgraded in-process)")
         os._exit(1)
+    if kind == "crash_process":
+        if in_process:
+            raise InjectedCrash("injected process kill (downgraded in-process)")
+        os.kill(os.getpid(), getattr(signal, "SIGKILL", signal.SIGTERM))
     if kind == "hang":
+        time.sleep(seconds)
+        return None
+    if kind == "stall_heartbeat":
+        from repro.service.durability import stall_heartbeat
+
+        stall_heartbeat(heartbeat)
         time.sleep(seconds)
         return None
     if kind == "corrupt":
@@ -182,7 +207,13 @@ class FaultPlan:
         """
         if not self.spec:
             return
-        pool = sorted(c for c in cells if c not in self.faults)
+        candidates = [c for c in cells if c not in self.faults]
+        try:
+            pool = sorted(candidates)
+        except TypeError:
+            # Unorderable cells (the batch service schedules RunSpec
+            # objects): fall back to their deterministic repr.
+            pool = sorted(candidates, key=repr)
         rng = random.Random(self.seed)
         rng.shuffle(pool)
         assigned = dict(self.faults)

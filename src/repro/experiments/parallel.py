@@ -122,10 +122,14 @@ class ResultCache:
         self.quarantined = 0
         self.hits = 0
         self.misses = 0
-        self._sweep_stale_tmp()
+        self.tmp_swept = self._sweep_stale_tmp()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
+
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe — no read, no counters, no verification."""
+        return self._path(key).exists()
 
     def _sweep_stale_tmp(self) -> int:
         """Remove tmp files whose writer is gone (crashed mid-``put``).
@@ -238,12 +242,25 @@ def _simulate_cell(payload: dict) -> tuple[Cell, object]:
         # this worker replays instead of regenerating (lazy attach on
         # first use; a vanished segment just falls back to generation).
         get_trace_cache().attach_shared(traces)
-    fault = payload.get("fault")
-    if fault is not None:
-        injected = apply_fault(fault, in_process=payload.get("fault_in_process", False))
-        if injected is not None:  # a corrupted-result sentinel
-            return spec.cell(), injected
-    return spec.cell(), simulate_spec(spec)
+    heartbeat = payload.get("heartbeat")
+    if heartbeat:
+        from repro.service.durability import HEARTBEAT_IDLE, beat
+
+        beat(heartbeat)
+    try:
+        fault = payload.get("fault")
+        if fault is not None:
+            injected = apply_fault(
+                fault,
+                in_process=payload.get("fault_in_process", False),
+                heartbeat=heartbeat,
+            )
+            if injected is not None:  # a corrupted-result sentinel
+                return spec.cell(), injected
+        return spec.cell(), simulate_spec(spec)
+    finally:
+        if heartbeat:
+            beat(heartbeat, HEARTBEAT_IDLE)
 
 
 class ParallelRunner(ExperimentRunner):
@@ -266,6 +283,7 @@ class ParallelRunner(ExperimentRunner):
         retries: int = 2,
         backoff: float = 0.25,
         fault_plan: Optional[FaultPlan] = None,
+        hang_grace: Optional[float] = None,
         report_path: str | os.PathLike | None = None,
         metrics_path: str | os.PathLike | None = None,
         **kwargs,
@@ -285,6 +303,7 @@ class ParallelRunner(ExperimentRunner):
         self.retries = retries
         self.backoff = backoff
         self.fault_plan = fault_plan
+        self.hang_grace = hang_grace
         if report_path is None and cache_dir is not None:
             report_path = Path(cache_dir) / "run_report.json"
         self.report_path = report_path
@@ -419,6 +438,7 @@ class ParallelRunner(ExperimentRunner):
             retries=self.retries,
             backoff=self.backoff,
             fault_plan=self.fault_plan,
+            hang_grace=self.hang_grace,
             validate=lambda result: isinstance(result, SystemResult),
             on_result=self._store,
             report=report,
@@ -449,6 +469,7 @@ def make_runner(
     timeout: Optional[float] = None,
     retries: int = 2,
     fault_plan: Optional[FaultPlan] = None,
+    hang_grace: Optional[float] = None,
     report_path: str | os.PathLike | None = None,
     metrics_path: str | os.PathLike | None = None,
     **kwargs,
@@ -467,6 +488,7 @@ def make_runner(
         or cache_dir is not None
         or timeout is not None
         or fault_plan is not None
+        or hang_grace is not None
         or report_path is not None
         or metrics_path is not None
     )
@@ -478,6 +500,7 @@ def make_runner(
         timeout=timeout,
         retries=retries,
         fault_plan=fault_plan,
+        hang_grace=hang_grace,
         report_path=report_path,
         metrics_path=metrics_path,
         **kwargs,

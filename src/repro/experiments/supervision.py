@@ -42,8 +42,10 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import signal
 import sys
+import tempfile
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -117,7 +119,7 @@ class RunReport:
     says exactly how much work a re-invocation actually redid.
     """
 
-    VERSION = 2
+    VERSION = 3
 
     def __init__(self, config: Optional[dict] = None) -> None:
         self.config = dict(config or {})
@@ -125,6 +127,8 @@ class RunReport:
         self.pool_deaths = 0
         self.timeouts = 0
         self.retried = 0
+        #: Workers SIGKILLed by the heartbeat watchdog (hung mid-cell).
+        self.watchdog_kills = 0
         self.degraded_serial = False
         self.interrupted = False
         self.started = time.time()
@@ -231,6 +235,7 @@ class RunReport:
             "pool_deaths": self.pool_deaths,
             "timeouts": self.timeouts,
             "retried": self.retried,
+            "watchdog_kills": self.watchdog_kills,
             "config": self.config,
             "counts": self.counts,
             "timing": {
@@ -273,7 +278,8 @@ class RunReport:
             f"{c['simulated']} simulated, {c['failed']} failed, "
             f"{c['pending']} pending",
             f"  attempts {self.total_attempts} ({self.retried} retried), "
-            f"{self.timeouts} timeouts, {self.pool_deaths} pool deaths"
+            f"{self.timeouts} timeouts, {self.pool_deaths} pool deaths, "
+            f"{self.watchdog_kills} watchdog kills"
             + (", degraded to serial" if self.degraded_serial else ""),
         ]
         if self.interrupted:
@@ -321,6 +327,7 @@ class Supervisor:
         backoff: float = 0.25,
         max_pool_deaths: int = 3,
         fault_plan: Optional[FaultPlan] = None,
+        hang_grace: Optional[float] = None,
         validate: Optional[Callable] = None,
         on_result: Optional[Callable] = None,
         report: Optional[RunReport] = None,
@@ -335,6 +342,13 @@ class Supervisor:
         self.backoff = max(0.0, float(backoff))
         self.max_pool_deaths = max(0, int(max_pool_deaths))
         self.fault_plan = fault_plan
+        #: Heartbeat watchdog grace (seconds).  When set and running in
+        #: pool mode, workers heartbeat between cells and a monitor
+        #: thread SIGKILLs any worker silent-but-busy past this long;
+        #: the BrokenProcessPool recovery path then respawns the pool.
+        self.hang_grace = None if hang_grace is None else max(0.05, float(hang_grace))
+        self._hb_dir: Optional[str] = None
+        self._watchdog = None
         self.validate = validate
         self.on_result = on_result
         self.report = report if report is not None else RunReport()
@@ -413,6 +427,8 @@ class Supervisor:
 
     def _payload_for(self, cell, attempt: int, in_process: bool) -> dict:
         payload = dict(self.payload_fn(cell))
+        if self._hb_dir is not None and not in_process:
+            payload["heartbeat"] = self._hb_dir
         if self.fault_plan is not None:
             fault = self.fault_plan.fault_for(cell, attempt)
             if fault is not None:
@@ -475,7 +491,9 @@ class Supervisor:
     # -- pool mode ----------------------------------------------------- #
 
     def _run_pool(self, pending: deque) -> None:
-        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        if self.hang_grace is not None:
+            self._hb_dir = tempfile.mkdtemp(prefix="repro-hb-")
+        pool = self._make_pool()
         inflight: dict = {}  # future -> (cell, deadline, submitted_at)
         try:
             while (pending or inflight) and not self._stop:
@@ -514,11 +532,15 @@ class Supervisor:
                     self._degrade(pending, inflight)
                     return
         finally:
+            self._disarm_watchdog()
             if pool is not None:
                 if self._stop or inflight:
                     self._kill_pool(pool)  # don't wait on hung workers
                 else:
                     pool.shutdown(wait=True)
+            if self._hb_dir is not None:
+                shutil.rmtree(self._hb_dir, ignore_errors=True)
+                self._hb_dir = None
 
     def _top_up(self, pool, pending: deque, inflight: dict):
         """Submit ready cells until ``jobs`` are in flight."""
@@ -590,7 +612,36 @@ class Supervisor:
             self._pool_deaths += 1
             if self._pool_deaths > self.max_pool_deaths:
                 return None
-        return ProcessPoolExecutor(max_workers=self.jobs)
+        return self._make_pool()
+
+    def _make_pool(self):
+        """Spawn a fresh pool and (re)arm the heartbeat watchdog on it.
+
+        Heartbeat files are cleared first — pids can be reused across
+        pool generations, and a stale "busy" beat from a dead worker
+        must never condemn its successor.
+        """
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        if self._hb_dir is not None:
+            from repro.service.durability import WorkerWatchdog, clear_heartbeats
+
+            self._disarm_watchdog()
+            clear_heartbeats(self._hb_dir)
+            self._watchdog = WorkerWatchdog(
+                self._hb_dir,
+                self.hang_grace,
+                lambda: getattr(pool, "_processes", None),
+                on_kill=self._on_watchdog_kill,
+            ).start()
+        return pool
+
+    def _on_watchdog_kill(self, pid: int) -> None:
+        self.report.watchdog_kills += 1
+
+    def _disarm_watchdog(self) -> None:
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog = None
 
     def _kill_pool(self, pool) -> None:
         # Grab worker handles before shutdown clears them; terminate so
@@ -604,6 +655,7 @@ class Supervisor:
 
     def _degrade(self, pending: deque, inflight: dict) -> None:
         """Finish the sweep in-process after repeated pool deaths."""
+        self._disarm_watchdog()
         self.report.degraded_serial = True
         now = time.monotonic()
         for fut in list(inflight):

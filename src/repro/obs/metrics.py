@@ -67,6 +67,13 @@ def report_to_prometheus(report, per_cell: bool = True) -> str:
     _sample(lines, "run_timeouts_total", report.timeouts)
     _metric(lines, "run_pool_deaths_total", "counter", "Worker-pool respawns after hard deaths.")
     _sample(lines, "run_pool_deaths_total", report.pool_deaths)
+    _metric(
+        lines,
+        "run_watchdog_kills_total",
+        "counter",
+        "Hung workers SIGKILLed by the heartbeat watchdog.",
+    )
+    _sample(lines, "run_watchdog_kills_total", getattr(report, "watchdog_kills", 0))
     _metric(lines, "run_degraded_serial", "gauge", "1 if the sweep finished in-process.")
     _sample(lines, "run_degraded_serial", report.degraded_serial)
     _metric(lines, "run_interrupted", "gauge", "1 if the sweep was interrupted.")
@@ -175,6 +182,69 @@ def service_to_prometheus(stats) -> str:
     _sample(lines, "service_failed_total", stats.failed)
     _metric(lines, "service_cancelled_total", "counter", "Specs cancelled before execution.")
     _sample(lines, "service_cancelled_total", stats.cancelled)
+
+    _metric(
+        lines,
+        "service_shed_total",
+        "counter",
+        "Submissions shed (rejected or dropped) by admission control.",
+    )
+    _sample(lines, "service_shed_total", getattr(stats, "shed", 0))
+    _metric(
+        lines,
+        "service_recovered_total",
+        "counter",
+        "Specs re-enqueued from the write-ahead journal by a resume.",
+    )
+    _sample(lines, "service_recovered_total", getattr(stats, "recovered", 0))
+    _metric(
+        lines,
+        "watchdog_kills_total",
+        "counter",
+        "Hung workers SIGKILLed by the heartbeat watchdog.",
+    )
+    _sample(lines, "watchdog_kills_total", getattr(stats, "watchdog_kills", 0))
+    _metric(
+        lines,
+        "breaker_rejected_total",
+        "counter",
+        "Submissions refused because their scheme's breaker was open.",
+    )
+    _sample(lines, "breaker_rejected_total", getattr(stats, "breaker_rejected", 0))
+    _metric(
+        lines,
+        "breaker_state",
+        "gauge",
+        "Per-scheme circuit-breaker state (0=closed, 1=half-open, 2=open).",
+    )
+    breaker = getattr(stats, "breaker", None) or {}
+    for scheme in sorted(breaker):
+        state = breaker[scheme]
+        encoded = {"closed": 0, "half-open": 1, "open": 2}.get(state, 0)
+        _sample(lines, "breaker_state", encoded, scheme=scheme)
+    _metric(
+        lines,
+        "service_cache_quarantined_total",
+        "counter",
+        "Corrupt result-cache entries quarantined by this service.",
+    )
+    _sample(
+        lines, "service_cache_quarantined_total", getattr(stats, "cache_quarantined", 0)
+    )
+    _metric(
+        lines,
+        "service_cache_tmp_swept_total",
+        "counter",
+        "Stale result-cache tmp files swept at cache open.",
+    )
+    _sample(lines, "service_cache_tmp_swept_total", getattr(stats, "cache_tmp_swept", 0))
+    _metric(
+        lines,
+        "service_shm_swept_total",
+        "counter",
+        "Orphaned trace shared-memory segments swept at scheduler start.",
+    )
+    _sample(lines, "service_shm_swept_total", getattr(stats, "shm_swept", 0))
 
     _metric(
         lines,

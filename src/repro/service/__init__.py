@@ -7,9 +7,27 @@ supervised worker pool, and resolves a future per submission.
 :class:`AsyncClient` adapts those futures to asyncio; the
 :mod:`~repro.service.serve` front-ends expose the scheduler over JSONL
 stdio and a loopback HTTP batch endpoint (``repro serve``).
+
+The :mod:`~repro.service.durability` layer makes the service survive its
+production failure modes: a write-ahead :class:`BatchJournal` plus
+:meth:`BatchScheduler.recover` for crash-safe resumption, an
+:class:`AdmissionController` and per-scheme :class:`CircuitBreaker` for
+overload, and a worker heartbeat watchdog for silent hangs.
 """
 
 from repro.service.aio import AsyncClient
+from repro.service.durability import (
+    AdmissionController,
+    AdmissionRejected,
+    BatchJournal,
+    BreakerOpen,
+    CircuitBreaker,
+    DeadlineExceeded,
+    JournalError,
+    JournalReplay,
+    WorkerWatchdog,
+    replay_journal,
+)
 from repro.service.scheduler import (
     BatchScheduler,
     JobFailed,
@@ -20,12 +38,22 @@ from repro.service.scheduler import (
 from repro.service.serve import BatchHTTPServer, serve_http, serve_jsonl
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
     "AsyncClient",
     "BatchHTTPServer",
+    "BatchJournal",
     "BatchScheduler",
+    "BreakerOpen",
+    "CircuitBreaker",
+    "DeadlineExceeded",
     "JobFailed",
+    "JournalError",
+    "JournalReplay",
     "SchedulerClosed",
     "ServiceStats",
+    "WorkerWatchdog",
+    "replay_journal",
     "run_batch",
     "serve_http",
     "serve_jsonl",

@@ -18,7 +18,7 @@ the scheduler keeps doing the work on its own threads and processes.
 from __future__ import annotations
 
 import asyncio
-from typing import AsyncIterator, Iterable, Sequence, Tuple
+from typing import AsyncIterator, Iterable, Optional, Sequence, Tuple
 
 from repro.api.spec import RunSpec
 from repro.service.scheduler import BatchScheduler
@@ -31,13 +31,27 @@ class AsyncClient:
     def __init__(self, scheduler: BatchScheduler) -> None:
         self.scheduler = scheduler
 
-    async def run(self, spec: RunSpec, priority: int = 0) -> SystemResult:
-        """Submit one spec and await its result."""
-        future = self.scheduler.submit(spec, priority=priority)
+    async def run(
+        self,
+        spec: RunSpec,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> SystemResult:
+        """Submit one spec and await its result.
+
+        ``deadline`` (seconds from now) propagates to the scheduler: an
+        expired spec fails with
+        :class:`~repro.service.durability.DeadlineExceeded` instead of
+        occupying a worker.
+        """
+        future = self.scheduler.submit(spec, priority=priority, deadline=deadline)
         return await asyncio.wrap_future(future)
 
     async def run_many(
-        self, specs: Iterable[RunSpec], priority: int = 0
+        self,
+        specs: Iterable[RunSpec],
+        priority: int = 0,
+        deadline: Optional[float] = None,
     ) -> AsyncIterator[Tuple[RunSpec, SystemResult]]:
         """Submit a batch; yield ``(spec, result)`` in completion order.
 
@@ -45,7 +59,10 @@ class AsyncClient:
         turn comes (after everything that succeeded before it).
         """
         specs = list(specs)
-        futures = [self.scheduler.submit(s, priority=priority) for s in specs]
+        futures = [
+            self.scheduler.submit(s, priority=priority, deadline=deadline)
+            for s in specs
+        ]
         by_task = {
             asyncio.ensure_future(asyncio.wrap_future(f)): spec
             for spec, f in zip(specs, futures)
@@ -63,8 +80,14 @@ class AsyncClient:
                 task.cancel()
 
     async def gather(
-        self, specs: Sequence[RunSpec], priority: int = 0
+        self,
+        specs: Sequence[RunSpec],
+        priority: int = 0,
+        deadline: Optional[float] = None,
     ) -> list:
         """Await the whole batch; results in *submission* order."""
-        futures = [self.scheduler.submit(s, priority=priority) for s in specs]
+        futures = [
+            self.scheduler.submit(s, priority=priority, deadline=deadline)
+            for s in specs
+        ]
         return await asyncio.gather(*(asyncio.wrap_future(f) for f in futures))

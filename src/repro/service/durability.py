@@ -1,0 +1,643 @@
+"""Durability and overload protection for the batch service.
+
+The scheduler in :mod:`repro.service.scheduler` made batches *correct*
+(dedup, priorities, supervised retry); this module makes them survive
+the failure modes a long campaign actually hits — the serving process
+dying mid-batch, a traffic burst outrunning the worker pool, one broken
+scheme poisoning every batch it rides in, and a worker wedging silently
+with no per-cell timeout armed.  Four pieces, each usable on its own:
+
+* :class:`BatchJournal` — a write-ahead JSONL journal of every spec's
+  lifecycle (``submitted`` / ``started`` / ``done`` / ``failed`` /
+  ``cancelled``).  Records are checksummed per line and fsync'd in
+  batches, so a ``kill -9`` loses at most the tail of *terminal* events
+  — never an accepted submission.  :meth:`BatchJournal.replay` rebuilds
+  the outstanding work set from the file (torn or corrupt lines are
+  skipped, not fatal), and :meth:`BatchJournal.compact` rewrites the
+  file down to just that set on a clean close.
+* :class:`AdmissionController` — bounded queue depth and an in-flight
+  byte budget with a configurable shed policy: ``reject`` (refuse the
+  new submission with a retry hint) or ``drop-oldest`` (cancel the
+  least urgent queued spec to admit a more urgent one).
+* :class:`CircuitBreaker` — per-scheme failure isolation: ``threshold``
+  consecutive execution failures open the breaker (submissions for
+  that scheme fail fast), a timer half-opens it for a single probe,
+  and a probe success closes it again.
+* :class:`WorkerWatchdog` + :func:`beat` — pool workers touch a
+  per-pid heartbeat file when they pick up and finish a cell; a
+  monitor thread declares a worker hung once its heartbeat has been
+  ``busy`` for longer than ``hang_grace`` and SIGKILLs it, letting the
+  supervisor's existing :class:`BrokenProcessPool` path respawn the
+  pool and resubmit the lost cells.
+
+Everything is stdlib-only, and none of it touches the simulation hot
+path: journal appends are buffered in memory, heartbeats are two tiny
+file writes per *cell* (not per access), and admission checks run at
+submission time only.  Fault-free results stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Optional
+
+#: Bump when the journal record layout changes; replay skips records
+#: from other versions instead of misreading them.
+JOURNAL_FORMAT_VERSION = 1
+
+#: Journal file name, created inside the journal directory (which by
+#: default is the result-cache directory — one root for all run state).
+JOURNAL_FILENAME = "batch_journal.jsonl"
+
+#: Journal events a spec can go through.  ``submitted`` carries the full
+#: spec payload; the rest reference it by cache key.
+JOURNAL_EVENTS = ("submitted", "started", "done", "failed", "cancelled")
+
+#: Events that close out a spec's journal lifecycle.
+_TERMINAL = frozenset(("done", "failed", "cancelled"))
+
+#: Buffered records that force a flush+fsync even without an explicit
+#: batch boundary, bounding how much terminal-event history a crash can
+#: lose.  Submissions are made durable explicitly before execution.
+DEFAULT_FLUSH_EVERY = 64
+
+#: Heartbeat file states a worker reports (see :func:`beat`).
+HEARTBEAT_BUSY = "busy"
+HEARTBEAT_IDLE = "idle"
+
+
+class JournalError(RuntimeError):
+    """The journal directory is unusable or holds no replayable state."""
+
+
+class AdmissionRejected(RuntimeError):
+    """A submission was shed by the admission controller.
+
+    ``retry_after`` is the server's load-based hint, in seconds, for
+    when a retry is likely to be admitted (HTTP front-ends surface it
+    as a ``Retry-After`` header on the 429).
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = max(1.0, float(retry_after))
+
+
+class BreakerOpen(RuntimeError):
+    """A submission was refused because its scheme's breaker is open."""
+
+    def __init__(self, scheme: str, retry_after: float) -> None:
+        super().__init__(
+            f"circuit breaker for scheme {scheme!r} is open "
+            f"(recent executions kept failing); retry in ~{retry_after:.0f}s"
+        )
+        self.scheme = scheme
+        self.retry_after = max(1.0, float(retry_after))
+
+
+class DeadlineExceeded(RuntimeError):
+    """A spec's per-request deadline elapsed before it could run."""
+
+    def __init__(self, name: str, deadline: float) -> None:
+        super().__init__(
+            f"{name}: deadline of {deadline:g}s elapsed before execution"
+        )
+        self.deadline = deadline
+
+
+# --------------------------------------------------------------------- #
+# Write-ahead journal
+# --------------------------------------------------------------------- #
+
+
+def _seal(record: dict) -> str:
+    """Serialize a record with an embedded checksum over its body."""
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+    return body[:-1] + f',"sha":"{digest}"}}'
+
+
+def _unseal(line: str) -> Optional[dict]:
+    """Parse and verify one journal line; ``None`` if torn or corrupt."""
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(record, dict):
+        return None
+    digest = record.pop("sha", None)
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    if digest != hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]:
+        return None
+    return record
+
+
+@dataclass
+class JournalReplay:
+    """The outstanding work set rebuilt from a journal file.
+
+    ``pending`` lists ``(key, spec_dict, priority)`` for every spec
+    whose last event was non-terminal (``submitted`` or ``started``) —
+    the exact set a resumed scheduler must re-enqueue.  ``done_keys``
+    are cache keys that reached ``done``; ``counts`` tallies every
+    event seen; ``corrupt_lines`` counts skipped torn/invalid lines.
+    """
+
+    pending: list = field(default_factory=list)
+    done_keys: set = field(default_factory=set)
+    counts: dict = field(default_factory=dict)
+    corrupt_lines: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.pending) + len(self.done_keys)
+
+
+class BatchJournal:
+    """Append-only, checksummed JSONL journal of batch lifecycles.
+
+    Appends are buffered in memory and written + fsync'd in batches:
+    every ``flush_every`` records, at explicit :meth:`flush` points
+    (the scheduler flushes right before executing a batch, making its
+    submissions durable before any work starts, and again when the
+    batch completes), and on :meth:`close`.  One fsync covers many
+    records, keeping the journal entirely off the simulation hot path.
+
+    The file tolerates its own failure modes: a torn final line (killed
+    mid-write) or a bit-flipped record fails its per-line checksum and
+    is skipped by :meth:`replay` — losing one terminal event at worst,
+    which the result cache's content addressing makes harmless.
+    """
+
+    def __init__(
+        self,
+        journal_dir: str | os.PathLike,
+        *,
+        flush_every: int = DEFAULT_FLUSH_EVERY,
+        fsync: bool = True,
+    ) -> None:
+        self.dir = Path(journal_dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.dir / JOURNAL_FILENAME
+        self.flush_every = max(1, int(flush_every))
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._buffer: list[str] = []
+        self._file = open(self.path, "a", encoding="utf-8")
+        self.appended = 0
+        self.flushes = 0
+
+    # -- writing ------------------------------------------------------- #
+
+    def append(
+        self,
+        event: str,
+        key: str,
+        *,
+        spec: Optional[dict] = None,
+        priority: Optional[int] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        """Buffer one lifecycle record (flushes itself past the batch bound)."""
+        if event not in JOURNAL_EVENTS:
+            raise ValueError(
+                f"unknown journal event {event!r}; expected one of {JOURNAL_EVENTS}"
+            )
+        record: dict = {
+            "v": JOURNAL_FORMAT_VERSION,
+            "event": event,
+            "key": key,
+            "ts": round(time.time(), 3),
+        }
+        if spec is not None:
+            record["spec"] = spec
+        if priority is not None:
+            record["priority"] = priority
+        if detail is not None:
+            record["detail"] = detail
+        line = _seal(record)
+        with self._lock:
+            self._buffer.append(line)
+            self.appended += 1
+            if len(self._buffer) >= self.flush_every:
+                self._flush_locked()
+
+    def flush(self) -> None:
+        """Write and fsync everything buffered (a durability point)."""
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if not self._buffer or self._file.closed:
+            return
+        self._file.write("\n".join(self._buffer) + "\n")
+        self._buffer.clear()
+        self._file.flush()
+        if self.fsync:
+            try:
+                os.fsync(self._file.fileno())
+            except OSError:  # pragma: no cover - exotic filesystems
+                pass
+        self.flushes += 1
+
+    def close(self, *, compact: bool = True) -> None:
+        """Flush; optionally compact (clean-close path) and close the file."""
+        self.flush()
+        if compact:
+            self.compact()
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    # -- reading / compaction ------------------------------------------ #
+
+    def replay(self) -> JournalReplay:
+        """Rebuild the outstanding work set from the file (see module doc)."""
+        return replay_journal(self.dir)
+
+    def compact(self) -> int:
+        """Rewrite the journal down to its outstanding submissions.
+
+        Terminal specs disappear entirely; pending ones are rewritten
+        as fresh ``submitted`` records.  After a fully drained close the
+        file is empty.  Returns the number of records kept.
+        """
+        with self._lock:
+            self._flush_locked()
+            replay = replay_journal(self.dir)
+            tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+            try:
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    for key, spec_dict, priority in replay.pending:
+                        record = {
+                            "v": JOURNAL_FORMAT_VERSION,
+                            "event": "submitted",
+                            "key": key,
+                            "ts": round(time.time(), 3),
+                            "spec": spec_dict,
+                            "priority": priority,
+                        }
+                        fh.write(_seal(record) + "\n")
+                    fh.flush()
+                    if self.fsync:
+                        os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+            finally:
+                tmp.unlink(missing_ok=True)
+            # Reopen the append handle on the compacted file.
+            if not self._file.closed:
+                self._file.close()
+            self._file = open(self.path, "a", encoding="utf-8")
+            return len(replay.pending)
+
+
+def replay_journal(journal_dir: str | os.PathLike) -> JournalReplay:
+    """Replay a journal directory into its outstanding work set.
+
+    Standalone so ``repro batch --resume`` can inspect state without
+    constructing (and thereby touching) a live journal first.  Raises
+    :class:`JournalError` when no journal file exists.
+    """
+    path = Path(journal_dir) / JOURNAL_FILENAME
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise JournalError(
+            f"no batch journal at {path} (was the batch run with a "
+            f"--cache-dir / journal enabled?): {exc}"
+        ) from None
+    replay = JournalReplay()
+    # key -> (state, spec_dict, priority); dict order = first submission.
+    lifecycle: dict[str, list] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = _unseal(line)
+        if record is None:
+            replay.corrupt_lines += 1
+            continue
+        if record.get("v") != JOURNAL_FORMAT_VERSION:
+            replay.corrupt_lines += 1
+            continue
+        event = record.get("event")
+        key = record.get("key")
+        if event not in JOURNAL_EVENTS or not isinstance(key, str):
+            replay.corrupt_lines += 1
+            continue
+        replay.counts[event] = replay.counts.get(event, 0) + 1
+        entry = lifecycle.get(key)
+        if event == "submitted":
+            spec = record.get("spec")
+            priority = int(record.get("priority") or 0)
+            if entry is None:
+                lifecycle[key] = [event, spec, priority]
+            else:
+                entry[0] = event
+                if spec is not None:
+                    entry[1] = spec
+                entry[2] = priority
+        elif entry is not None:
+            entry[0] = event
+    for key, (state, spec, priority) in lifecycle.items():
+        if state in _TERMINAL:
+            if state == "done":
+                replay.done_keys.add(key)
+            continue
+        if spec is None:
+            replay.corrupt_lines += 1  # started/… with no surviving spec
+            continue
+        replay.pending.append((key, spec, priority))
+    return replay
+
+
+# --------------------------------------------------------------------- #
+# Admission control
+# --------------------------------------------------------------------- #
+
+#: Shed policies :class:`AdmissionController` understands.
+SHED_POLICIES = ("reject", "drop-oldest")
+
+
+class AdmissionController:
+    """Bounded queue depth and byte budget with a shed policy.
+
+    ``max_queue_depth`` bounds specs queued but not yet executing;
+    ``max_bytes`` bounds the summed serialized size of queued plus
+    in-flight specs (a proxy for the memory the service has promised).
+    ``None`` disables either bound.  Under ``reject`` an over-budget
+    submission raises :class:`AdmissionRejected`; under ``drop-oldest``
+    the controller instead names the least urgent queued victim for the
+    scheduler to cancel — and only rejects when the *new* submission is
+    itself the least urgent.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        policy: str = "reject",
+    ) -> None:
+        if policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed policy {policy!r}; expected one of {SHED_POLICIES}"
+            )
+        self.max_queue_depth = max_queue_depth
+        self.max_bytes = max_bytes
+        self.policy = policy
+        self.shed = 0
+
+    def over_budget(self, queue_depth: int, pending_bytes: int, size: int) -> bool:
+        if self.max_queue_depth is not None and queue_depth >= self.max_queue_depth:
+            return True
+        if self.max_bytes is not None and pending_bytes + size > self.max_bytes:
+            return True
+        return False
+
+    def admit(
+        self,
+        queue_depth: int,
+        pending_bytes: int,
+        size: int,
+        priority: int,
+        queued: Iterable,
+        retry_after: float,
+    ):
+        """Admit a submission or shed per policy.
+
+        Returns ``None`` (admitted outright) or a victim entry from
+        ``queued`` the caller must cancel to make room.  Raises
+        :class:`AdmissionRejected` when the submission is shed.
+        ``queued`` yields objects with ``priority`` and ``seq``
+        attributes (the scheduler's queued entries).
+        """
+        if not self.over_budget(queue_depth, pending_bytes, size):
+            return None
+        if self.policy == "drop-oldest":
+            victim = None
+            for entry in queued:
+                if victim is None or (entry.priority, entry.seq) > (
+                    victim.priority,
+                    victim.seq,
+                ):
+                    victim = entry
+            # Only shed a strictly less urgent spec; otherwise the new
+            # submission is the least valuable work and is rejected.
+            if victim is not None and victim.priority > priority:
+                return victim
+        self.shed += 1
+        raise AdmissionRejected(
+            f"queue full ({queue_depth} queued, {pending_bytes} pending bytes); "
+            f"submission shed by policy {self.policy!r}",
+            retry_after=retry_after,
+        )
+
+
+# --------------------------------------------------------------------- #
+# Circuit breaker
+# --------------------------------------------------------------------- #
+
+#: Breaker states, in escalation order (also their metric encoding).
+BREAKER_STATES = ("closed", "half-open", "open")
+
+
+class CircuitBreaker:
+    """Per-scheme consecutive-failure breaker with timed half-open probes.
+
+    Execution failures (retries already exhausted) for one scheme are a
+    strong signal the *scheme configuration* is broken, not the batch:
+    after ``threshold`` consecutive failures the breaker opens and
+    submissions for that scheme fail fast with :class:`BreakerOpen`
+    instead of occupying workers.  After ``reset_after`` seconds the
+    breaker half-opens: exactly one probe submission is allowed
+    through; its success closes the breaker, its failure re-opens the
+    timer.  Schemes never interact — one broken scheme cannot starve
+    the others.
+    """
+
+    def __init__(self, threshold: int = 5, reset_after: float = 30.0) -> None:
+        self.threshold = max(1, int(threshold))
+        self.reset_after = max(0.0, float(reset_after))
+        self._lock = threading.Lock()
+        #: scheme -> [consecutive_failures, state, opened_at, probing]
+        self._schemes: dict[str, list] = {}
+        self.rejected = 0
+
+    def _entry(self, scheme: str) -> list:
+        entry = self._schemes.get(scheme)
+        if entry is None:
+            entry = self._schemes[scheme] = [0, "closed", 0.0, False]
+        return entry
+
+    def allow(self, scheme: str) -> None:
+        """Raise :class:`BreakerOpen` unless this scheme may submit now."""
+        with self._lock:
+            entry = self._entry(scheme)
+            failures, state, opened_at, probing = entry
+            if state == "closed":
+                return
+            remaining = self.reset_after - (time.monotonic() - opened_at)
+            if state == "open" and remaining <= 0:
+                entry[1], entry[3] = "half-open", True  # this caller probes
+                return
+            if state == "half-open" and not probing:
+                entry[3] = True
+                return
+            self.rejected += 1
+            raise BreakerOpen(scheme, max(1.0, remaining))
+
+    def record_success(self, scheme: str) -> None:
+        with self._lock:
+            entry = self._entry(scheme)
+            entry[0], entry[1], entry[3] = 0, "closed", False
+
+    def record_failure(self, scheme: str) -> None:
+        with self._lock:
+            entry = self._entry(scheme)
+            entry[0] += 1
+            if entry[1] == "half-open" or entry[0] >= self.threshold:
+                entry[1] = "open"
+                entry[2] = time.monotonic()
+            entry[3] = False
+
+    def state(self, scheme: str) -> str:
+        with self._lock:
+            entry = self._schemes.get(scheme)
+            return entry[1] if entry is not None else "closed"
+
+    def states(self) -> dict:
+        """``{scheme: state}`` for every scheme seen (snapshot)."""
+        with self._lock:
+            return {scheme: entry[1] for scheme, entry in self._schemes.items()}
+
+
+# --------------------------------------------------------------------- #
+# Worker heartbeats and the watchdog
+# --------------------------------------------------------------------- #
+
+
+def beat(heartbeat_dir: Optional[str], state: str = HEARTBEAT_BUSY) -> None:
+    """Worker side: record this process's liveness state.
+
+    Called when a worker picks up a cell (``busy``) and when it hands
+    the result back (``idle``) — two tiny writes per cell, nothing per
+    simulated access.  Failures are swallowed: a read-only or vanished
+    heartbeat directory must never fail a simulation.
+    """
+    if not heartbeat_dir:
+        return
+    try:
+        Path(heartbeat_dir, f"{os.getpid()}.hb").write_text(state)
+    except OSError:
+        pass
+
+
+def stall_heartbeat(heartbeat_dir: Optional[str]) -> None:
+    """Fault hook: backdate this worker's heartbeat to the epoch.
+
+    Makes the worker look like it has been silently busy forever, so a
+    watchdog test trips immediately instead of sleeping out a real
+    ``hang_grace``.
+    """
+    if not heartbeat_dir:
+        return
+    path = Path(heartbeat_dir, f"{os.getpid()}.hb")
+    try:
+        path.write_text(HEARTBEAT_BUSY)
+        os.utime(path, (1.0, 1.0))
+    except OSError:
+        pass
+
+
+class WorkerWatchdog:
+    """Monitor thread that SIGKILLs silently hung pool workers.
+
+    A worker whose heartbeat file reads ``busy`` and has not been
+    touched for ``hang_grace`` seconds started a cell and never came
+    back — hung in native code, swallowed by a deadlock, or stalled on
+    I/O.  It cannot be cancelled through the pool API, so the watchdog
+    kills the process; the supervisor's existing
+    :class:`~concurrent.futures.process.BrokenProcessPool` recovery
+    respawns the pool and resubmits the lost cells.  Idle workers never
+    read ``busy``, so a quiet pool is never culled.
+
+    ``procs_fn`` returns the live ``{pid: Process}`` mapping of the
+    *current* pool (the supervisor re-arms a fresh watchdog whenever it
+    recycles the pool, clearing stale heartbeats with it).
+    """
+
+    def __init__(
+        self,
+        heartbeat_dir: str | os.PathLike,
+        hang_grace: float,
+        procs_fn: Callable[[], Optional[dict]],
+        on_kill: Optional[Callable[[int], None]] = None,
+        poll: Optional[float] = None,
+    ) -> None:
+        self.heartbeat_dir = Path(heartbeat_dir)
+        self.hang_grace = float(hang_grace)
+        self.procs_fn = procs_fn
+        self.on_kill = on_kill
+        self.poll = poll if poll is not None else max(0.05, self.hang_grace / 4.0)
+        self.kills = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "WorkerWatchdog":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-worker-watchdog", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll):
+            self.check()
+
+    def check(self) -> int:
+        """One scan; returns how many workers were killed (tests call this)."""
+        procs = self.procs_fn() or {}
+        killed = 0
+        now = time.time()
+        for pid, proc in list(procs.items()):
+            path = self.heartbeat_dir / f"{pid}.hb"
+            try:
+                stale = now - path.stat().st_mtime > self.hang_grace
+                state = path.read_text().strip()
+            except OSError:
+                continue  # never beat: worker hasn't picked up a cell yet
+            if state != HEARTBEAT_BUSY or not stale:
+                continue
+            if not proc.is_alive():
+                continue
+            try:
+                proc.kill()
+            except OSError:  # pragma: no cover - raced with normal exit
+                continue
+            path.unlink(missing_ok=True)
+            killed += 1
+            self.kills += 1
+            if self.on_kill is not None:
+                self.on_kill(pid)
+        return killed
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+
+def clear_heartbeats(heartbeat_dir: str | os.PathLike) -> None:
+    """Drop every heartbeat file (pool recycle: pids may be reused)."""
+    try:
+        for path in Path(heartbeat_dir).glob("*.hb"):
+            path.unlink(missing_ok=True)
+    except OSError:
+        pass

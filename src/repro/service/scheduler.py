@@ -38,6 +38,7 @@ layer only changes *when* a cell runs, never what it computes.
 from __future__ import annotations
 
 import itertools
+import json
 import os
 import threading
 import time
@@ -48,6 +49,7 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from repro.api.spec import RunSpec
+from repro.experiments.faults import FaultPlan, fault_plan_from_env
 from repro.experiments.parallel import ResultCache
 from repro.experiments.runner import simulate_spec
 from repro.experiments.supervision import (
@@ -55,10 +57,23 @@ from repro.experiments.supervision import (
     SupervisionError,
     Supervisor,
 )
+from repro.service.durability import (
+    AdmissionController,
+    AdmissionRejected,
+    BatchJournal,
+    BreakerOpen,
+    CircuitBreaker,
+    DeadlineExceeded,
+    JournalError,
+)
 from repro.sim.results import SystemResult
 from repro.sim.config import ScaleModel
 from repro.workloads.mixes import make_workloads
-from repro.workloads.trace_cache import env_enabled, get_trace_cache
+from repro.workloads.trace_cache import (
+    env_enabled,
+    get_trace_cache,
+    sweep_orphan_shared,
+)
 
 
 class JobFailed(RuntimeError):
@@ -92,6 +107,21 @@ class ServiceStats:
     queue_depth: int
     inflight: int
     latency: dict = field(default_factory=dict)
+    #: Submissions refused (or victims dropped) by admission control.
+    shed: int = 0
+    #: Specs re-enqueued from the journal by ``recover``/``--resume``.
+    recovered: int = 0
+    #: Hung workers SIGKILLed by the heartbeat watchdog.
+    watchdog_kills: int = 0
+    #: Submissions refused because their scheme's breaker was open.
+    breaker_rejected: int = 0
+    #: ``{scheme: state}`` snapshot of the per-scheme circuit breaker.
+    breaker: dict = field(default_factory=dict)
+    #: Result-cache self-healing counters (quarantined entries, stale
+    #: tmp files swept at open) and orphaned trace shm segments swept.
+    cache_quarantined: int = 0
+    cache_tmp_swept: int = 0
+    shm_swept: int = 0
 
     def to_prometheus(self) -> str:
         from repro.obs.metrics import service_to_prometheus
@@ -102,7 +132,18 @@ class ServiceStats:
 class _Entry:
     """One unique spec's lifecycle: its futures and queue state."""
 
-    __slots__ = ("spec", "priority", "seq", "futures", "created", "state")
+    __slots__ = (
+        "spec",
+        "priority",
+        "seq",
+        "futures",
+        "created",
+        "state",
+        "key",
+        "size",
+        "deadline",
+        "deadline_s",
+    )
 
     def __init__(self, spec: RunSpec, priority: int, seq: int) -> None:
         self.spec = spec
@@ -111,6 +152,10 @@ class _Entry:
         self.futures: list[Future] = []
         self.created = time.monotonic()
         self.state = "queued"  # queued | inflight | done
+        self.key: Optional[str] = None  # cache key, set when journaling
+        self.size = 0  # serialized spec bytes (admission accounting)
+        self.deadline: Optional[float] = None  # absolute monotonic
+        self.deadline_s: Optional[float] = None  # requested budget
 
 
 def _run_spec(payload: dict):
@@ -125,14 +170,46 @@ def _run_spec(payload: dict):
     traces = payload.get("traces")
     if traces:
         get_trace_cache().attach_shared(traces)
-    fault = payload.get("fault")
-    if fault is not None:
-        from repro.experiments.faults import apply_fault
+    heartbeat = payload.get("heartbeat")
+    if heartbeat:
+        from repro.service.durability import beat
 
-        injected = apply_fault(fault, in_process=payload.get("fault_in_process", False))
-        if injected is not None:
-            return spec, injected
-    return spec, simulate_spec(spec)
+        beat(heartbeat)
+    try:
+        fault = payload.get("fault")
+        if fault is not None:
+            from repro.experiments.faults import apply_fault
+
+            injected = apply_fault(
+                fault,
+                in_process=payload.get("fault_in_process", False),
+                heartbeat=heartbeat,
+            )
+            if injected is not None:
+                return spec, injected
+        return spec, simulate_spec(spec)
+    finally:
+        if heartbeat:
+            from repro.service.durability import HEARTBEAT_IDLE, beat
+
+            beat(heartbeat, HEARTBEAT_IDLE)
+
+
+def _notify_cancel(future: Future) -> None:
+    """Cancel a future *and complete the handshake*.
+
+    ``Future.cancel()`` alone leaves the state at ``CANCELLED``;
+    ``concurrent.futures.wait``/``as_completed`` only treat
+    ``CANCELLED_AND_NOTIFIED`` as done, and that transition normally
+    belongs to the executor that owns the future.  This scheduler is
+    that executor, so it must perform it — otherwise a front-end
+    blocked in ``wait()`` hangs forever after ``close(drain=False)``.
+    """
+    if future.cancel():
+        try:
+            future.set_running_or_notify_cancel()
+        except Exception:  # noqa: BLE001 - already notified elsewhere
+            pass
 
 
 class BatchScheduler:
@@ -154,6 +231,15 @@ class BatchScheduler:
         backoff: float = 0.25,
         report_path: str | os.PathLike | None = None,
         metrics_path: str | os.PathLike | None = None,
+        journal_dir: str | os.PathLike | None = None,
+        journal: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        hang_grace: Optional[float] = None,
+        max_queue_depth: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        shed_policy: str = "reject",
+        breaker_threshold: Optional[int] = None,
+        breaker_reset: float = 30.0,
         start: bool = True,
     ) -> None:
         self.jobs = max(1, int(jobs))
@@ -169,6 +255,32 @@ class BatchScheduler:
             report_path = Path(cache_dir) / "run_report.json"
         self.report_path = report_path
         self.metrics_path = metrics_path
+        # A worker that died between attaching a shared trace buffer and
+        # deregistering it strands the segment in /dev/shm forever; a
+        # fresh scheduler is the natural janitor for its predecessors.
+        self.shm_swept = sweep_orphan_shared()
+        # The write-ahead journal lives next to the result cache by
+        # default — one root for everything a resume needs.
+        if journal_dir is None and journal and cache_dir is not None:
+            journal_dir = cache_dir
+        self._journal = (
+            BatchJournal(journal_dir) if journal and journal_dir is not None else None
+        )
+        self._journal_closed = False
+        if fault_plan is None:
+            fault_plan = fault_plan_from_env()
+        self.fault_plan = fault_plan
+        self.hang_grace = hang_grace
+        self.admission = (
+            AdmissionController(max_queue_depth, max_bytes, shed_policy)
+            if max_queue_depth is not None or max_bytes is not None
+            else None
+        )
+        self.breaker = (
+            CircuitBreaker(breaker_threshold, breaker_reset)
+            if breaker_threshold is not None
+            else None
+        )
         #: Cumulative report across every batch this scheduler drains.
         self.report = RunReport(
             config={"jobs": self.jobs, "timeout": timeout, "retries": retries}
@@ -192,6 +304,9 @@ class BatchScheduler:
         self.executed = 0
         self.failed = 0
         self.cancelled = 0
+        self.shed = 0
+        self.recovered = 0
+        self._pending_bytes = 0
         self._latencies: dict[str, list[float]] = {}
 
         self._thread: Optional[threading.Thread] = None
@@ -202,12 +317,25 @@ class BatchScheduler:
     # Submission side
     # ------------------------------------------------------------------ #
 
-    def submit(self, spec: RunSpec, priority: int = 0) -> Future:
+    def submit(
+        self,
+        spec: RunSpec,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> Future:
         """Queue one spec; the returned future resolves to its result.
 
-        Lower ``priority`` runs earlier.  Raises
-        :class:`~repro.api.spec.SpecError` on an invalid spec and
-        :class:`SchedulerClosed` after :meth:`close`.
+        Lower ``priority`` runs earlier.  ``deadline`` (seconds from
+        now; defaults to the spec's own ``deadline`` field) bounds how
+        long the spec may wait *and* run — an expired spec fails with
+        :class:`~repro.service.durability.DeadlineExceeded` instead of
+        occupying a worker.  Raises
+        :class:`~repro.api.spec.SpecError` on an invalid spec,
+        :class:`SchedulerClosed` after :meth:`close`,
+        :class:`~repro.service.durability.AdmissionRejected` when shed
+        by admission control, and
+        :class:`~repro.service.durability.BreakerOpen` while the spec's
+        scheme is circuit-broken.
         """
         spec.validate()
         future: Future = Future()
@@ -231,16 +359,128 @@ class BatchScheduler:
                     entry.priority = priority
                     heappush(self._queue, (priority, entry.seq, spec))
                 return future
+            # Genuinely new work from here on: it must pass the breaker
+            # and admission control (dedup joins and memory hits above
+            # add no load, so they are always admitted).
+            if self.breaker is not None:
+                self.breaker.allow(spec.scheme)
+            size = 0
+            if self.admission is not None:
+                size = len(
+                    json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+                )
+                queued = [e for e in self._entries.values() if e.state == "queued"]
+                try:
+                    victim = self.admission.admit(
+                        len(queued),
+                        self._pending_bytes,
+                        size,
+                        priority,
+                        queued,
+                        self._retry_after_locked(),
+                    )
+                except AdmissionRejected:
+                    self.shed += 1
+                    raise
+                if victim is not None:
+                    self.shed += 1
+                    self._shed_entry_locked(victim)
             entry = _Entry(spec, priority, next(self._seq))
             entry.futures.append(future)
+            entry.size = size
+            self._pending_bytes += size
+            budget = deadline if deadline is not None else spec.deadline
+            if budget is not None:
+                entry.deadline_s = float(budget)
+                entry.deadline = time.monotonic() + entry.deadline_s
+            if self._journal is not None:
+                entry.key = spec.cache_key()
+                self._journal.append(
+                    "submitted", entry.key, spec=spec.to_dict(), priority=priority
+                )
             self._entries[spec] = entry
             heappush(self._queue, (priority, entry.seq, spec))
             self._wake.notify_all()
         return future
 
+    def _retry_after_locked(self) -> float:
+        """Load-based retry hint: median spec latency × backlog ÷ jobs."""
+        samples = [s for values in self._latencies.values() for s in values]
+        per_spec = sorted(samples)[len(samples) // 2] if samples else 1.0
+        backlog = len(self._entries)
+        return min(60.0, max(1.0, per_spec * (1 + backlog) / self.jobs))
+
+    def _shed_entry_locked(self, entry: _Entry) -> None:
+        """Drop a queued victim to admit a more urgent submission."""
+        entry.state = "done"
+        self._entries.pop(entry.spec, None)
+        self._pending_bytes -= entry.size
+        self.cancelled += 1
+        if self._journal is not None and entry.key is not None:
+            self._journal.append("cancelled", entry.key, detail="shed")
+        for future in entry.futures:
+            _notify_cancel(future)
+
     def map(self, specs: Iterable[RunSpec], priority: int = 0) -> list[Future]:
         """Submit a whole batch; futures in submission order."""
         return [self.submit(spec, priority=priority) for spec in specs]
+
+    # ------------------------------------------------------------------ #
+    # Crash recovery
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def recover(
+        cls, journal_dir: str | os.PathLike, **scheduler_kwargs
+    ) -> "BatchScheduler":
+        """Build a scheduler on an existing journal and resume its work.
+
+        ``journal_dir`` doubles as the default ``cache_dir`` (they share
+        a root unless told otherwise), so specs whose results landed in
+        the disk cache before the crash resolve from it without
+        re-simulation; only genuinely unfinished work re-executes.  The
+        replay summary is left on ``scheduler.resume_summary``.
+        """
+        scheduler_kwargs.setdefault("cache_dir", journal_dir)
+        scheduler_kwargs["journal_dir"] = journal_dir
+        scheduler_kwargs["journal"] = True
+        scheduler = cls(**scheduler_kwargs)
+        scheduler.resume_summary = scheduler.resume_from_journal()
+        return scheduler
+
+    def resume_from_journal(self) -> dict:
+        """Replay the journal; re-enqueue every outstanding spec.
+
+        Returns a summary dict: ``pending`` (outstanding records found),
+        ``resumed`` (re-enqueued here), ``cache_resident`` (of those,
+        already content-addressed on disk — they will resolve from the
+        cache, not re-simulate), ``done`` (journaled terminal),
+        ``corrupt_lines`` (torn/invalid lines skipped), and ``futures``
+        (``(spec, Future)`` pairs for the re-enqueued work, in replay
+        order, so front-ends can await and print per-spec outcomes).
+        """
+        if self._journal is None:
+            raise JournalError(
+                "scheduler has no journal; pass cache_dir or journal_dir"
+            )
+        replay = self._journal.replay()
+        cache_resident = 0
+        futures: list = []
+        for key, spec_dict, priority in replay.pending:
+            spec = RunSpec.from_dict(spec_dict)
+            if self.cache is not None and self.cache.contains(key):
+                cache_resident += 1
+            futures.append((spec, self.submit(spec, priority=priority)))
+        with self._lock:
+            self.recovered += len(futures)
+        return {
+            "pending": len(replay.pending),
+            "resumed": len(futures),
+            "cache_resident": cache_resident,
+            "done": len(replay.done_keys),
+            "corrupt_lines": replay.corrupt_lines,
+            "futures": futures,
+        }
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -285,10 +525,18 @@ class BatchScheduler:
                 current = self._current
                 if current is not None:
                     current.request_stop()
-                self._cancel_queued_locked()
+                # Cancelled-by-abort specs keep their ``submitted``
+                # journal records: an aborted batch is exactly what
+                # ``--resume`` is for.
+                self._cancel_queued_locked(journal=False)
             self._wake.notify_all()
         if self._thread is not None:
             self._thread.join(timeout)
+        if self._journal is not None and not self._journal_closed:
+            self._journal_closed = True
+            # A drained close replays to an empty work set, so compaction
+            # truncates the journal; an abort keeps it for resumption.
+            self._journal.close(compact=drain and not self._abort)
         self._write_outputs()
 
     def __enter__(self) -> "BatchScheduler":
@@ -320,6 +568,16 @@ class BatchScheduler:
                     scheme: latency_quantiles(samples)
                     for scheme, samples in self._latencies.items()
                 },
+                shed=self.shed,
+                recovered=self.recovered,
+                watchdog_kills=self.report.watchdog_kills,
+                breaker_rejected=(
+                    self.breaker.rejected if self.breaker is not None else 0
+                ),
+                breaker=self.breaker.states() if self.breaker is not None else {},
+                cache_quarantined=self.cache.quarantined if self.cache else 0,
+                cache_tmp_swept=self.cache.tmp_swept if self.cache else 0,
+                shm_swept=self.shm_swept,
             )
 
     # ------------------------------------------------------------------ #
@@ -332,7 +590,7 @@ class BatchScheduler:
                 while not self._queue and not self._closing:
                     self._wake.wait(0.1)
                 if self._abort:
-                    self._cancel_queued_locked()
+                    self._cancel_queued_locked(journal=False)
                 if not self._queue and self._closing:
                     self._idle.notify_all()
                     return
@@ -359,7 +617,12 @@ class BatchScheduler:
             if all(f.cancelled() for f in entry.futures):
                 entry.state = "done"
                 del self._entries[spec]
+                self._pending_bytes -= entry.size
                 self.cancelled += 1
+                if self._journal is not None and entry.key is not None:
+                    self._journal.append("cancelled", entry.key)
+                for future in entry.futures:
+                    _notify_cancel(future)
                 continue
             entry.state = "inflight"
             seen.add(spec)
@@ -380,9 +643,29 @@ class BatchScheduler:
                     self._resolve(entry.spec, found, simulated=False)
                     continue
             todo.append(entry)
+
+        # Expired deadlines fail fast instead of occupying a worker.
+        now = time.monotonic()
+        expired = [
+            entry for entry in todo if entry.deadline is not None and now >= entry.deadline
+        ]
+        for entry in expired:
+            self._fail(
+                entry.spec, DeadlineExceeded(entry.spec.name, entry.deadline_s or 0.0)
+            )
+        if expired:
+            todo = [entry for entry in todo if entry not in expired]
         if not todo:
             self._flush_report()
             return
+
+        # Durability point: every spec this batch will run is on disk as
+        # ``submitted``+``started`` before any work begins — one fsync
+        # for the whole batch, nothing on the simulation hot path.
+        if self._journal is not None:
+            for entry in todo:
+                self._journal.append("started", entry.key)
+            self._journal.flush()
 
         started = time.monotonic()
         self._batch_started = {entry.spec: started for entry in todo}
@@ -413,13 +696,24 @@ class BatchScheduler:
                 payload["traces"] = trace_map
             return payload
 
+        # The tightest deadline in the batch caps the per-cell timeout:
+        # a spec that cannot finish inside its budget should time out
+        # (and fail) rather than run long past the caller's patience.
+        timeout = self.timeout
+        deadlines = [e.deadline for e in todo if e.deadline is not None]
+        if deadlines:
+            remaining = max(0.1, min(deadlines) - time.monotonic())
+            timeout = remaining if timeout is None else min(timeout, remaining)
+
         supervisor = Supervisor(
             _run_spec,
             _payload,
             jobs=self.jobs,
-            timeout=self.timeout,
+            timeout=timeout,
             retries=self.retries,
             backoff=self.backoff,
+            fault_plan=self.fault_plan,
+            hang_grace=self.hang_grace,
             validate=lambda result: isinstance(result, SystemResult),
             on_result=lambda spec, result: self._resolve(spec, result, simulated=True),
             report=self.report,
@@ -443,9 +737,13 @@ class BatchScheduler:
             with self._lock:
                 self._current = None
         if interrupted:
-            # Cells the stopped supervisor never reached: cancel them.
+            # Cells the stopped supervisor never reached: cancel their
+            # futures but keep their journal records — an interrupted
+            # batch is resumable by definition.
             for entry in todo:
-                self._cancel_entry(entry.spec)
+                self._cancel_entry(entry.spec, journal=False)
+        if self._journal is not None:
+            self._journal.flush()
         self._flush_report()
 
     # ------------------------------------------------------------------ #
@@ -453,11 +751,17 @@ class BatchScheduler:
     # ------------------------------------------------------------------ #
 
     def _resolve(self, spec: RunSpec, result: SystemResult, *, simulated: bool) -> None:
+        # Order matters for crash safety: the result reaches the
+        # content-addressed cache *before* its ``done`` record, so a
+        # crash in between just replays a pending spec the disk pre-pass
+        # resolves without re-simulation.
         if self.cache is not None and simulated:
             self.cache.put(spec.cache_key(), result)
         with self._lock:
             entry = self._entries.pop(spec, None)
             self._results[spec] = result
+            if entry is not None:
+                self._pending_bytes -= entry.size
             if simulated:
                 self.executed += 1
                 if entry is not None:
@@ -468,6 +772,12 @@ class BatchScheduler:
             futures = list(entry.futures) if entry is not None else []
             if entry is not None:
                 entry.state = "done"
+        if entry is not None and self._journal is not None and entry.key is not None:
+            self._journal.append(
+                "done", entry.key, detail="simulated" if simulated else "cache"
+            )
+        if simulated and self.breaker is not None:
+            self.breaker.record_success(spec.scheme)
         for future in futures:
             if not future.cancelled():
                 future.set_result(result)
@@ -476,33 +786,47 @@ class BatchScheduler:
         with self._lock:
             entry = self._entries.pop(spec, None)
             self.failed += 1
+            if entry is not None:
+                self._pending_bytes -= entry.size
             futures = list(entry.futures) if entry is not None else []
             if entry is not None:
                 entry.state = "done"
+        if entry is not None and self._journal is not None and entry.key is not None:
+            self._journal.append("failed", entry.key, detail=str(error))
+        if self.breaker is not None and isinstance(error, JobFailed):
+            # Only genuine execution failures trip the breaker; expired
+            # deadlines say nothing about the scheme's health.
+            self.breaker.record_failure(spec.scheme)
         for future in futures:
             if not future.cancelled():
                 future.set_exception(error)
 
-    def _cancel_entry(self, spec: RunSpec) -> None:
+    def _cancel_entry(self, spec: RunSpec, journal: bool = True) -> None:
         with self._lock:
             entry = self._entries.pop(spec, None)
             if entry is None:
                 return
             entry.state = "done"
+            self._pending_bytes -= entry.size
             self.cancelled += 1
             futures = list(entry.futures)
+        if journal and self._journal is not None and entry.key is not None:
+            self._journal.append("cancelled", entry.key)
         for future in futures:
-            future.cancel()
+            _notify_cancel(future)
 
-    def _cancel_queued_locked(self) -> None:
+    def _cancel_queued_locked(self, journal: bool = True) -> None:
         for spec, entry in list(self._entries.items()):
             if entry.state != "queued":
                 continue
             entry.state = "done"
             del self._entries[spec]
+            self._pending_bytes -= entry.size
             self.cancelled += 1
+            if journal and self._journal is not None and entry.key is not None:
+                self._journal.append("cancelled", entry.key)
             for future in entry.futures:
-                future.cancel()
+                _notify_cancel(future)
         self._queue.clear()
 
     def _flush_report(self) -> None:

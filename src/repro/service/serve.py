@@ -25,17 +25,18 @@ from __future__ import annotations
 import json
 import sys
 import threading
-from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures import FIRST_COMPLETED, CancelledError, Future, wait
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import IO, Optional
 
 from repro.api.session import result_summary
 from repro.api.spec import RunSpec, SpecError
-from repro.service.scheduler import BatchScheduler
+from repro.service.durability import AdmissionRejected, BreakerOpen
+from repro.service.scheduler import BatchScheduler, SchedulerClosed
 
 
-def _parse_line(line: str, lineno: int) -> tuple[object, RunSpec, int]:
-    """``(id, spec, priority)`` from one JSONL request line."""
+def _parse_line(line: str, lineno: int) -> tuple[object, RunSpec, int, Optional[float]]:
+    """``(id, spec, priority, deadline)`` from one JSONL request line."""
     obj = json.loads(line)
     if not isinstance(obj, dict):
         raise SpecError(f"line {lineno}: expected a JSON object, got {type(obj).__name__}")
@@ -43,10 +44,13 @@ def _parse_line(line: str, lineno: int) -> tuple[object, RunSpec, int]:
         spec = RunSpec.from_dict(obj["spec"])
         priority = int(obj.get("priority", 0))
         req_id = obj.get("id", lineno)
+        deadline = obj.get("deadline")
     else:
         spec = RunSpec.from_dict(obj)
-        priority, req_id = 0, lineno
-    return req_id, spec.validate(), priority
+        priority, req_id, deadline = 0, lineno, None
+    if deadline is not None:
+        deadline = float(deadline)
+    return req_id, spec.validate(), priority, deadline
 
 
 def serve_jsonl(
@@ -80,6 +84,20 @@ def serve_jsonl(
         nonlocal failures
         try:
             result = future.result()
+        except CancelledError:
+            # CancelledError is a BaseException since Python 3.8 — a bare
+            # ``except Exception`` silently drops it and the request would
+            # never get its output line.
+            failures += 1
+            emit(
+                {
+                    "id": req_id,
+                    "spec": spec.name,
+                    "ok": False,
+                    "cancelled": True,
+                    "error": "cancelled: scheduler shut down before this spec ran",
+                }
+            )
         except Exception as exc:  # noqa: BLE001 - reported per request
             failures += 1
             emit({"id": req_id, "spec": spec.name, "ok": False, "error": str(exc)})
@@ -92,12 +110,32 @@ def serve_jsonl(
         if not line or line.startswith("#"):
             continue
         try:
-            req_id, spec, priority = _parse_line(line, lineno)
+            req_id, spec, priority, deadline = _parse_line(line, lineno)
         except (ValueError, SpecError) as exc:
             bad_input += 1
             print(f"repro serve: skipping line {lineno}: {exc}", file=stderr)
             continue
-        future = scheduler.submit(spec, priority=priority)
+        try:
+            future = scheduler.submit(spec, priority=priority, deadline=deadline)
+        except (AdmissionRejected, BreakerOpen) as exc:
+            # Shed per request, never per stream: one refused submission
+            # must not abort the remaining lines.
+            failures += 1
+            record = {
+                "id": req_id,
+                "spec": spec.name,
+                "ok": False,
+                "error": str(exc),
+                "retry_after": exc.retry_after,
+            }
+            if isinstance(exc, AdmissionRejected):
+                record["shed"] = True
+            emit(record)
+            continue
+        except SchedulerClosed as exc:
+            failures += 1
+            emit({"id": req_id, "spec": spec.name, "ok": False, "error": str(exc)})
+            break
         future.add_done_callback(
             lambda fut, req_id=req_id, spec=spec: on_done(req_id, spec, fut)
         )
@@ -133,10 +171,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload: object) -> None:
-        self._send(
-            status, json.dumps(payload, sort_keys=True).encode(), "application/json"
-        )
+    def _send_json(
+        self, status: int, payload: object, retry_after: Optional[float] = None
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        if retry_after is not None:
+            self.send_header("Retry-After", str(max(1, int(round(retry_after)))))
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/healthz":
@@ -160,16 +205,73 @@ class _Handler(BaseHTTPRequestHandler):
             if not isinstance(payload, list):
                 raise SpecError("expected a JSON array of spec objects")
             specs = [RunSpec.from_dict(item).validate() for item in payload]
+            deadline_header = self.headers.get("X-Repro-Deadline")
+            deadline = float(deadline_header) if deadline_header else None
         except (ValueError, SpecError, TypeError) as exc:
             self._send_json(400, {"ok": False, "error": str(exc)})
             return
-        futures = [self.scheduler.submit(spec) for spec in specs]
-        results = []
-        for spec, future in zip(specs, futures):
+        results: list = []
+        admitted: list = []  # (slot, spec, future)
+        retry_after = 0.0
+        shed = closed = False
+        for spec in specs:
             try:
-                results.append({"ok": True, **result_summary(future.result())})
-            except Exception as exc:  # noqa: BLE001 - reported per spec
+                future = self.scheduler.submit(spec, deadline=deadline)
+            except AdmissionRejected as exc:
+                shed = True
+                retry_after = max(retry_after, exc.retry_after)
+                results.append(
+                    {"ok": False, "spec": spec.name, "shed": True, "error": str(exc)}
+                )
+            except BreakerOpen as exc:
+                retry_after = max(retry_after, exc.retry_after)
+                results.append(
+                    {
+                        "ok": False,
+                        "spec": spec.name,
+                        "breaker": exc.scheme,
+                        "error": str(exc),
+                    }
+                )
+            except SchedulerClosed as exc:
+                closed = True
                 results.append({"ok": False, "spec": spec.name, "error": str(exc)})
+            else:
+                results.append(None)  # filled in below, in submission order
+                admitted.append((len(results) - 1, spec, future))
+        cancelled = False
+        for slot, spec, future in admitted:
+            try:
+                results[slot] = {"ok": True, **result_summary(future.result())}
+            except CancelledError:
+                # ``close(drain=False)`` raced this request; without an
+                # explicit handler (CancelledError is a BaseException) the
+                # client would hang on a response that never comes.
+                cancelled = True
+                results[slot] = {
+                    "ok": False,
+                    "spec": spec.name,
+                    "cancelled": True,
+                    "error": "cancelled: scheduler shut down before this spec ran",
+                }
+            except Exception as exc:  # noqa: BLE001 - reported per spec
+                results[slot] = {"ok": False, "spec": spec.name, "error": str(exc)}
+        if closed or cancelled:
+            # Structured partial status instead of a hung or reset socket.
+            self._send_json(
+                503,
+                {
+                    "ok": False,
+                    "error": "scheduler closed while this batch was in flight",
+                    "partial": True,
+                    "results": results,
+                },
+            )
+            return
+        if not admitted and results and all(r and not r["ok"] for r in results):
+            # Nothing was even accepted: overload (429) or breaker (503).
+            self._send_json(429 if shed else 503, results, retry_after=retry_after)
+            return
         self._send_json(200, results)
 
 

@@ -60,10 +60,69 @@ _DEFAULT_MAX_STREAMS = 128
 #: Environment kill-switch (``REPRO_TRACE_CACHE=0`` disables the layer).
 ENV_FLAG = "REPRO_TRACE_CACHE"
 
+#: Prefix of exported shared-memory segment names.  Embedding the
+#: exporter's pid (``repro_trc_<pid>_<seq>``) lets a later process tell
+#: an orphan (exporter dead, segment stranded in /dev/shm) from a live
+#: export and sweep it — see :func:`sweep_orphan_shared`.
+SHM_PREFIX = "repro_trc"
+
 
 def env_enabled() -> bool:
     """Whether the trace cache is enabled by default in this process."""
     return os.environ.get(ENV_FLAG, "1") not in ("0", "false", "no", "off")
+
+
+def _shm_pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def sweep_orphan_shared(shm_dir: str | os.PathLike = "/dev/shm") -> int:
+    """Unlink trace segments whose exporting process is gone.
+
+    A worker or parent killed between exporting a segment and
+    :meth:`TraceCache.close_shared` strands it in ``/dev/shm`` forever
+    (shared memory has no owner-exit cleanup).  Segment names embed the
+    exporter's pid, so any later process — the scheduler runs this at
+    start — can safely reap segments whose exporter is dead.  Live
+    exporters (including this process) are never touched.  Returns the
+    number of segments removed; platforms without a file-backed shm
+    directory simply sweep nothing.
+    """
+    from multiprocessing import shared_memory
+
+    removed = 0
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:
+        return 0
+    for name in names:
+        if not name.startswith(SHM_PREFIX + "_"):
+            continue
+        try:
+            pid = int(name[len(SHM_PREFIX) + 1 :].split("_", 1)[0])
+        except ValueError:
+            continue
+        if pid == os.getpid() or _shm_pid_alive(pid):
+            continue
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except OSError:
+            continue  # raced with another sweeper
+        try:
+            shm.close()
+            shm.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - raced with another sweeper
+            pass
+    return removed
 
 
 class MaterializedTrace:
@@ -215,6 +274,7 @@ class TraceCache:
         self._shared: dict[str, str] = {}
         #: Exported segments owned by this (parent) process.
         self._exports: list = []
+        self._export_seq = 0
         self.cache_dir: Optional[Path] = None
         self.stats = {
             "memo_hits": 0,
@@ -398,7 +458,21 @@ class TraceCache:
             if not entry.records:
                 continue
             payload = entry.to_bytes()
-            shm = shared_memory.SharedMemory(create=True, size=len(payload))
+            # Pid-stamped names make stranded segments attributable (and
+            # therefore sweepable — see sweep_orphan_shared).
+            shm = None
+            for _ in range(32):
+                name = f"{SHM_PREFIX}_{os.getpid()}_{self._export_seq}"
+                self._export_seq += 1
+                try:
+                    shm = shared_memory.SharedMemory(
+                        name=name, create=True, size=len(payload)
+                    )
+                    break
+                except FileExistsError:
+                    continue  # stale same-pid leftover; try the next seq
+            if shm is None:  # pragma: no cover - 32 collisions in a row
+                shm = shared_memory.SharedMemory(create=True, size=len(payload))
             shm.buf[: len(payload)] = payload
             self._exports.append(shm)
             mapping[digest] = shm.name

@@ -1,0 +1,566 @@
+"""Durability layer: journal + resume, admission, breaker, watchdog, chaos."""
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import CancelledError
+
+import pytest
+
+from repro.api import RunSpec, SpecError, result_digest
+from repro.experiments.faults import Fault, FaultPlan
+from repro.service import (
+    AdmissionRejected,
+    BatchHTTPServer,
+    BatchJournal,
+    BatchScheduler,
+    BreakerOpen,
+    CircuitBreaker,
+    DeadlineExceeded,
+    JournalError,
+    replay_journal,
+    run_batch,
+    serve_jsonl,
+)
+from repro.service.durability import JOURNAL_FILENAME
+
+Q, W = 1_500, 500
+
+
+def spec(mix="471+444", scheme="avgcc", **kw):
+    return RunSpec(mix=mix, scheme=scheme, quota=Q, warmup=W, **kw)
+
+
+def four_specs():
+    return [
+        spec(),
+        spec(scheme="baseline"),
+        spec(mix="444+445"),
+        spec(mix="444+445", scheme="dsr"),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Journal file format
+# --------------------------------------------------------------------- #
+
+
+def test_journal_append_replay_roundtrip(tmp_path):
+    journal = BatchJournal(tmp_path, fsync=False)
+    journal.append("submitted", "k1", spec={"mix": "a"}, priority=2)
+    journal.append("submitted", "k2", spec={"mix": "b"}, priority=0)
+    journal.append("started", "k1")
+    journal.append("done", "k2")
+    journal.flush()
+    replay = replay_journal(tmp_path)
+    assert replay.pending == [("k1", {"mix": "a"}, 2)]
+    assert replay.done_keys == {"k2"}
+    assert replay.counts == {"submitted": 2, "started": 1, "done": 1}
+    assert replay.corrupt_lines == 0
+    journal.close(compact=False)
+
+
+def test_journal_appends_are_buffered_until_flush(tmp_path):
+    journal = BatchJournal(tmp_path, fsync=False, flush_every=1000)
+    journal.append("submitted", "k1", spec={}, priority=0)
+    assert (tmp_path / JOURNAL_FILENAME).read_text() == ""
+    journal.flush()
+    assert "k1" in (tmp_path / JOURNAL_FILENAME).read_text()
+    journal.close(compact=False)
+
+
+def test_journal_tolerates_torn_and_corrupt_lines(tmp_path):
+    journal = BatchJournal(tmp_path, fsync=False)
+    journal.append("submitted", "k1", spec={"mix": "a"}, priority=0)
+    journal.append("done", "k1")
+    journal.append("submitted", "k2", spec={"mix": "b"}, priority=1)
+    journal.close(compact=False)
+    path = tmp_path / JOURNAL_FILENAME
+    lines = path.read_text().splitlines()
+    # Flip a bit in k1's terminal record and tear the file mid-line, the
+    # two corruptions a kill -9 can actually produce.
+    lines[1] = lines[1].replace('"done"', '"dead"')
+    lines.append('{"v":1,"event":"done","key":"k2","ts":1')  # torn write
+    path.write_text("\n".join(lines) + "\n")
+    replay = replay_journal(tmp_path)
+    assert replay.corrupt_lines == 2
+    # k1 lost its (corrupt) terminal event -> conservatively pending
+    # again; content addressing makes the re-run a cache hit, not a bug.
+    assert {key for key, _, _ in replay.pending} == {"k1", "k2"}
+
+
+def test_journal_compact_drops_terminal_and_rewrites_pending(tmp_path):
+    journal = BatchJournal(tmp_path, fsync=False)
+    journal.append("submitted", "k1", spec={"mix": "a"}, priority=3)
+    journal.append("started", "k1")
+    journal.append("submitted", "k2", spec={"mix": "b"}, priority=0)
+    journal.append("done", "k2")
+    journal.append("submitted", "k3", spec={"mix": "c"}, priority=0)
+    journal.append("failed", "k3", detail="boom")
+    assert journal.compact() == 1
+    replay = replay_journal(tmp_path)
+    assert replay.pending == [("k1", {"mix": "a"}, 3)]
+    assert replay.done_keys == set()  # terminal history is gone
+    # The append handle survives compaction.
+    journal.append("done", "k1")
+    journal.close(compact=True)
+    assert (tmp_path / JOURNAL_FILENAME).read_text() == ""
+
+
+def test_replay_missing_journal_raises(tmp_path):
+    with pytest.raises(JournalError):
+        replay_journal(tmp_path / "nowhere")
+
+
+# --------------------------------------------------------------------- #
+# Scheduler journal lifecycle + resume
+# --------------------------------------------------------------------- #
+
+
+def test_clean_batch_compacts_journal_to_empty(tmp_path):
+    run_batch([spec(), spec(scheme="baseline")], jobs=1, cache_dir=tmp_path)
+    assert (tmp_path / JOURNAL_FILENAME).read_text() == ""
+
+
+def test_aborted_batch_keeps_submissions_for_resume(tmp_path):
+    sched = BatchScheduler(jobs=1, cache_dir=tmp_path, start=False)
+    futures = [sched.submit(s, priority=i) for i, s in enumerate(four_specs())]
+    sched.close(drain=False)
+    assert all(f.cancelled() for f in futures)
+    replay = replay_journal(tmp_path)
+    assert len(replay.pending) == 4
+    # Priorities survive the crash/abort -> resume round trip.
+    assert sorted(p for _, _, p in replay.pending) == [0, 1, 2, 3]
+
+
+def test_recover_reruns_outstanding_work_bit_identically(tmp_path):
+    specs = four_specs()
+    interrupted = BatchScheduler(jobs=1, cache_dir=tmp_path / "a", start=False)
+    for s in specs:
+        interrupted.submit(s)
+    interrupted.close(drain=False)  # the "crash"
+
+    resumed = BatchScheduler.recover(tmp_path / "a", jobs=1, start=False)
+    summary = resumed.resume_summary
+    assert summary["resumed"] == 4 and summary["done"] == 0
+    assert resumed.stats().recovered == 4
+    resumed.start()
+    digests = {
+        s.name: result_digest(f.result(timeout=300)) for s, f in summary["futures"]
+    }
+    resumed.close()
+    assert (tmp_path / "a" / JOURNAL_FILENAME).read_text() == ""
+
+    _outcomes, _stats, _report = run_batch(specs, jobs=1, cache_dir=tmp_path / "b")
+    clean = {
+        s.name: result_digest(o) for s, o in zip(specs, _outcomes)
+    }
+    assert digests == clean
+
+
+def test_resume_skips_simulation_for_cache_resident_specs(tmp_path):
+    done, fresh = four_specs()[:2], four_specs()[2:]
+    run_batch(done, jobs=1, cache_dir=tmp_path)  # results now on disk
+
+    interrupted = BatchScheduler(jobs=1, cache_dir=tmp_path, start=False)
+    for s in done + fresh:
+        interrupted.submit(s)
+    interrupted.close(drain=False)
+
+    resumed = BatchScheduler.recover(tmp_path, jobs=1)
+    assert resumed.resume_summary["cache_resident"] == 2
+    for _spec, future in resumed.resume_summary["futures"]:
+        future.result(timeout=300)
+    resumed.close()
+    stats = resumed.stats()
+    # Zero duplicate simulation: only the genuinely unfinished pair ran.
+    assert stats.executed == 2
+    assert stats.cache_hits == 2
+
+
+def test_resume_without_journal_raises(tmp_path):
+    sched = BatchScheduler(jobs=1, start=False, journal=False)
+    with pytest.raises(JournalError):
+        sched.resume_from_journal()
+    sched.close(drain=False)
+
+
+def test_cli_batch_resume_replays_journal(tmp_path, capsys):
+    from repro.cli import main
+
+    cache = tmp_path / "cache"
+    sched = BatchScheduler(jobs=1, cache_dir=cache, start=False)
+    sched.submit(spec())
+    sched.close(drain=False)
+    assert main(["batch", "--resume", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr()
+    assert "digest" in out.out
+    assert "1 outstanding spec(s) re-enqueued" in out.err
+    assert (cache / JOURNAL_FILENAME).read_text() == ""
+
+
+def test_cli_batch_resume_requires_cache_dir():
+    from repro.cli import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["batch", "--resume"])
+    assert excinfo.value.code == 1
+
+
+# --------------------------------------------------------------------- #
+# Admission control
+# --------------------------------------------------------------------- #
+
+
+def test_admission_rejects_past_queue_bound():
+    sched = BatchScheduler(jobs=1, start=False, max_queue_depth=1)
+    sched.submit(spec())
+    with pytest.raises(AdmissionRejected) as excinfo:
+        sched.submit(spec(scheme="baseline"))
+    assert excinfo.value.retry_after >= 1.0
+    # Dedup joins add no load and bypass admission entirely.
+    sched.submit(spec())
+    stats = sched.stats()
+    assert stats.shed == 1 and stats.dedup_hits == 1
+    sched.start()
+    assert sched.drain(timeout=300)
+    sched.close()
+
+
+def test_admission_byte_budget_sheds():
+    sched = BatchScheduler(jobs=1, start=False, max_bytes=10)
+    with pytest.raises(AdmissionRejected):
+        sched.submit(spec())
+    sched.close(drain=False)
+
+
+def test_drop_oldest_sheds_less_urgent_victim():
+    sched = BatchScheduler(
+        jobs=1, start=False, max_queue_depth=1, shed_policy="drop-oldest"
+    )
+    victim = sched.submit(spec(), priority=5)
+    admitted = sched.submit(spec(scheme="baseline"), priority=0)
+    assert victim.cancelled() and not admitted.cancelled()
+    # A newcomer *less* urgent than everything queued is itself shed.
+    with pytest.raises(AdmissionRejected):
+        sched.submit(spec(mix="444+445"), priority=9)
+    assert sched.stats().shed == 2
+    sched.start()
+    assert sched.drain(timeout=300)
+    sched.close()
+    assert admitted.result().scheme == "baseline"
+
+
+# --------------------------------------------------------------------- #
+# Circuit breaker
+# --------------------------------------------------------------------- #
+
+
+def test_breaker_opens_half_opens_and_closes():
+    breaker = CircuitBreaker(threshold=2, reset_after=0.0)
+    breaker.allow("avgcc")
+    breaker.record_failure("avgcc")
+    assert breaker.state("avgcc") == "closed"
+    breaker.record_failure("avgcc")
+    assert breaker.state("avgcc") == "open"
+    # reset_after elapsed -> first caller through is the probe, the
+    # second is still refused while the probe is outstanding.
+    breaker.allow("avgcc")
+    assert breaker.state("avgcc") == "half-open"
+    with pytest.raises(BreakerOpen):
+        breaker.allow("avgcc")
+    assert breaker.rejected == 1
+    breaker.record_success("avgcc")
+    assert breaker.state("avgcc") == "closed"
+    # Schemes never interact.
+    assert breaker.state("baseline") == "closed"
+
+
+def test_breaker_failed_probe_reopens():
+    breaker = CircuitBreaker(threshold=1, reset_after=0.0)
+    breaker.record_failure("dsr")
+    breaker.allow("dsr")  # probe
+    breaker.record_failure("dsr")
+    assert breaker.state("dsr") == "open"
+
+
+def test_scheduler_breaker_trips_on_job_failure():
+    plan = FaultPlan({spec(): Fault("crash")})
+    sched = BatchScheduler(
+        jobs=1, retries=0, fault_plan=plan, breaker_threshold=1, breaker_reset=600.0
+    )
+    future = sched.submit(spec())
+    with pytest.raises(Exception, match="failed after retries"):
+        future.result(timeout=300)
+    with pytest.raises(BreakerOpen):
+        sched.submit(spec())
+    # Other schemes still flow, and their success is recorded.
+    ok = sched.submit(spec(scheme="baseline"))
+    assert ok.result(timeout=300).scheme == "baseline"
+    stats = sched.stats()
+    assert stats.breaker == {"avgcc": "open", "baseline": "closed"}
+    assert stats.breaker_rejected == 1
+    sched.close()
+
+
+# --------------------------------------------------------------------- #
+# Deadlines
+# --------------------------------------------------------------------- #
+
+
+def test_expired_deadline_fails_without_simulating():
+    sched = BatchScheduler(jobs=1, start=False)
+    doomed = sched.submit(spec(), deadline=0.05)
+    kept = sched.submit(spec(scheme="baseline"))
+    time.sleep(0.1)
+    sched.start()
+    with pytest.raises(DeadlineExceeded):
+        doomed.result(timeout=300)
+    assert kept.result(timeout=300).scheme == "baseline"
+    sched.close()
+    stats = sched.stats()
+    assert stats.failed == 1 and stats.executed == 1
+
+
+def test_spec_deadline_field_validates_and_rides_to_dict():
+    s = spec(deadline=2.5)
+    assert s.to_dict()["deadline"] == 2.5
+    assert RunSpec.from_dict(s.to_dict()).deadline == 2.5
+    # Excluded from identity: a deadline never forks the result cache.
+    assert s.cache_key() == spec().cache_key()
+    with pytest.raises(SpecError):
+        spec(deadline=0).validate()
+
+
+# --------------------------------------------------------------------- #
+# Watchdog
+# --------------------------------------------------------------------- #
+
+
+def test_watchdog_kills_stalled_worker_and_batch_completes(tmp_path):
+    victim = spec()
+    plan = FaultPlan({victim: Fault("stall_heartbeat", seconds=120.0)})
+    sched = BatchScheduler(
+        jobs=2, cache_dir=tmp_path, fault_plan=plan, hang_grace=0.5, retries=2
+    )
+    futures = [sched.submit(s) for s in four_specs()]
+    results = [f.result(timeout=300) for f in futures]
+    sched.close()
+    assert all(r is not None for r in results)
+    stats = sched.stats()
+    assert stats.watchdog_kills >= 1
+    assert stats.failed == 0
+    assert (tmp_path / JOURNAL_FILENAME).read_text() == ""
+
+
+# --------------------------------------------------------------------- #
+# Chaos: everything at once, digests still golden
+# --------------------------------------------------------------------- #
+
+
+def test_chaos_plan_yields_bit_identical_digests(tmp_path):
+    specs = four_specs()
+    plan = FaultPlan.from_spec(
+        "crash=1,hang=1,corrupt=1,crash_process=1", seed=11, hang_seconds=0.1
+    )
+    outcomes, stats, _ = run_batch(
+        specs, jobs=2, cache_dir=tmp_path / "chaos", fault_plan=plan, retries=2
+    )
+    clean, _, _ = run_batch(specs, jobs=1, cache_dir=tmp_path / "clean")
+    for s, faulty, ok in zip(specs, outcomes, clean):
+        assert result_digest(faulty) == result_digest(ok), s.name
+    assert stats.failed == 0
+    # Every lifecycle reached terminal: the journal replays to empty.
+    assert (tmp_path / "chaos" / JOURNAL_FILENAME).read_text() == ""
+
+
+# --------------------------------------------------------------------- #
+# Orphaned trace shm segments
+# --------------------------------------------------------------------- #
+
+
+def test_sweep_reclaims_segments_of_dead_processes(tmp_path):
+    shared_memory = pytest.importorskip("multiprocessing.shared_memory")
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("no file-backed shm directory on this platform")
+    from repro.workloads.trace_cache import SHM_PREFIX, sweep_orphan_shared
+
+    # A worker that really died between attach and deregister.
+    proc = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    dead_pid = int(proc.stdout)
+    name = f"{SHM_PREFIX}_{dead_pid}_0"
+    segment = shared_memory.SharedMemory(name=name, create=True, size=64)
+    segment.close()
+    try:
+        assert sweep_orphan_shared() >= 1
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+    finally:
+        try:
+            shared_memory.SharedMemory(name=name).unlink()
+        except FileNotFoundError:
+            pass
+
+    # A live exporter's segment is never touched.
+    live = f"{SHM_PREFIX}_{os.getpid()}_0"
+    segment = shared_memory.SharedMemory(name=live, create=True, size=64)
+    try:
+        sweep_orphan_shared()
+        shared_memory.SharedMemory(name=live).close()  # still there
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def test_result_cache_sweeps_stale_tmp_files(tmp_path):
+    from repro.experiments.parallel import ResultCache
+
+    fan = tmp_path / "de"
+    fan.mkdir()
+    # Writer pid 2**22+1 is safely past any real pid on this box.
+    fan.joinpath(".deadbeef.pkl.4194305.tmp").write_bytes(b"half a write")
+    cache = ResultCache(tmp_path)
+    assert cache.tmp_swept == 1
+    assert not list(tmp_path.glob("*/.*.tmp"))
+
+
+# --------------------------------------------------------------------- #
+# Front-end overload + shutdown semantics
+# --------------------------------------------------------------------- #
+
+
+def _http_server(sched):
+    server = BatchHTTPServer(("127.0.0.1", 0), sched)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread, server.server_address[1]
+
+
+def test_http_overload_burst_sheds_with_429(tmp_path):
+    sched = BatchScheduler(jobs=1, start=False, max_queue_depth=1)
+    sched.submit(spec())  # fills the queue
+    server, thread, port = _http_server(sched)
+    try:
+        body = json.dumps([spec(scheme="baseline").to_dict()]).encode()
+        req = urllib.request.Request(f"http://127.0.0.1:{port}/batch", data=body)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=30)
+        assert excinfo.value.code == 429
+        assert int(excinfo.value.headers["Retry-After"]) >= 1
+        results = json.load(excinfo.value)
+        assert results[0]["shed"] is True
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        sched.start()
+        sched.drain(timeout=300)
+        sched.close()
+
+
+def test_http_close_mid_batch_returns_partial_503_not_a_hang():
+    sched = BatchScheduler(jobs=1, start=False)  # nothing ever executes
+    server, thread, port = _http_server(sched)
+    status = {}
+
+    def request():
+        body = json.dumps([spec().to_dict()]).encode()
+        req = urllib.request.Request(f"http://127.0.0.1:{port}/batch", data=body)
+        try:
+            urllib.request.urlopen(req, timeout=60)
+        except urllib.error.HTTPError as exc:
+            status["code"] = exc.code
+            status["body"] = json.load(exc)
+
+    try:
+        client = threading.Thread(target=request)
+        client.start()
+        time.sleep(0.3)  # request is in flight, future pending
+        sched.close(drain=False)
+        client.join(timeout=30)
+        assert not client.is_alive(), "client hung on a cancelled batch"
+        assert status["code"] == 503
+        assert status["body"]["partial"] is True
+        assert status["body"]["results"][0]["cancelled"] is True
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def test_serve_jsonl_sheds_per_line_with_retry_hint():
+    sched = BatchScheduler(jobs=1, start=False, max_queue_depth=1)
+    blocker = sched.submit(spec())
+    out, err = io.StringIO(), io.StringIO()
+    line = json.dumps(spec(scheme="baseline").to_dict())
+    code = serve_jsonl(sched, stdin=io.StringIO(line + "\n"), stdout=out, stderr=err)
+    assert code == 1
+    record = json.loads(out.getvalue())
+    assert record["shed"] is True and record["retry_after"] >= 1
+    sched.start()
+    sched.drain(timeout=300)
+    sched.close()
+    assert blocker.result().scheme == "avgcc"
+
+
+def test_serve_jsonl_reports_cancellation_instead_of_dropping_it():
+    sched = BatchScheduler(jobs=1, start=False)
+    out, err = io.StringIO(), io.StringIO()
+    line = json.dumps(spec().to_dict())
+    done = threading.Event()
+    result = {}
+
+    def run():
+        result["code"] = serve_jsonl(
+            sched, stdin=io.StringIO(line + "\n"), stdout=out, stderr=err
+        )
+        done.set()
+
+    threading.Thread(target=run).start()
+    time.sleep(0.3)
+    sched.close(drain=False)
+    assert done.wait(timeout=30), "serve_jsonl hung on a cancelled future"
+    assert result["code"] == 1
+    record = json.loads(out.getvalue())
+    assert record["cancelled"] is True and record["ok"] is False
+
+
+# --------------------------------------------------------------------- #
+# Metrics surface
+# --------------------------------------------------------------------- #
+
+
+def test_new_counters_render_in_prometheus(tmp_path):
+    sched = BatchScheduler(
+        jobs=1,
+        cache_dir=tmp_path,
+        start=False,
+        max_queue_depth=1,
+        breaker_threshold=3,
+    )
+    sched.submit(spec())
+    with pytest.raises(AdmissionRejected):
+        sched.submit(spec(scheme="baseline"))
+    sched.start()
+    sched.drain(timeout=300)
+    sched.close()
+    text = sched.stats().to_prometheus()
+    assert "repro_service_shed_total 1" in text
+    assert "repro_service_recovered_total 0" in text
+    assert "repro_watchdog_kills_total 0" in text
+    assert "repro_breaker_rejected_total 0" in text
+    assert 'repro_breaker_state{scheme="avgcc"} 0' in text
+    assert "repro_service_cache_tmp_swept_total 0" in text
+    assert "repro_service_shm_swept_total" in text
