@@ -135,6 +135,14 @@ class RunSpec:
     #: timeout with it.  Excluded from the cache key — *when* a result
     #: must arrive never changes what it is.
     deadline: Optional[float] = field(default=None, compare=False)
+    #: Whether to attach the :mod:`repro.verify` runtime sanitizer
+    #: (``None`` = process default, i.e. off unless ``REPRO_SANITIZE=1``).
+    #: Excluded from the cache key: the sanitizer only *reads* simulator
+    #: state — a sanitized run is bit-identical to a plain run, so both
+    #: share a result-cache entry.  Travels through ``to_dict``/
+    #: ``from_dict`` (and therefore the batch journal), so resumed batch
+    #: workers run sanitized when the original submission asked for it.
+    sanitize: Optional[bool] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         # Coerce the convenient spellings (lists, strings, the config
@@ -167,6 +175,8 @@ class RunSpec:
             object.__setattr__(self, "trace_cache", bool(self.trace_cache))
         if self.deadline is not None:
             object.__setattr__(self, "deadline", float(self.deadline))
+        if self.sanitize is not None:
+            object.__setattr__(self, "sanitize", bool(self.sanitize))
 
     # ------------------------------------------------------------------ #
     # Validation
@@ -335,6 +345,7 @@ class RunSpec:
             "events": None if self.events is None else list(self.events),
             "trace_cache": self.trace_cache,
             "deadline": self.deadline,
+            "sanitize": self.sanitize,
         }
 
     @classmethod

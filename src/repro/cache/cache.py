@@ -276,6 +276,38 @@ class SlotCacheArray:
     def occupancy(self, set_idx: int) -> int:
         return len(self._stacks[set_idx])
 
+    def check_integrity(self, set_idx: int) -> None:
+        """Raise ``AssertionError`` if the set's internal state is corrupt.
+
+        Verifies the backend-specific invariants the public API can hide:
+        the recency stack is a duplicate-free permutation of the set's
+        indexed lines, every line maps to this set, and occupancy never
+        exceeds the associativity.  Used by the runtime sanitizer
+        (:mod:`repro.verify`); read-only.
+        """
+        stack = self._stacks[set_idx]
+        if len(stack) > self._ways:
+            raise AssertionError(
+                f"set {set_idx}: {len(stack)} lines exceed {self._ways} ways"
+            )
+        seen: set[int] = set()
+        for line in stack:
+            if line.addr in seen:
+                raise AssertionError(
+                    f"set {set_idx}: duplicate tag {line.addr:#x}"
+                )
+            seen.add(line.addr)
+            if line.addr & self.set_mask != set_idx:
+                raise AssertionError(
+                    f"set {set_idx}: line {line.addr:#x} belongs to set "
+                    f"{line.addr & self.set_mask}"
+                )
+            if self._index.get(line.addr) is not line:
+                raise AssertionError(
+                    f"set {set_idx}: stack and index disagree for "
+                    f"{line.addr:#x}"
+                )
+
     def iter_lines(self) -> Iterator[Line]:
         for stack in self._stacks:
             yield from stack
@@ -425,6 +457,30 @@ class DictCacheArray:
 
     def occupancy(self, set_idx: int) -> int:
         return len(self._sets[set_idx])
+
+    def check_integrity(self, set_idx: int) -> None:
+        """Raise ``AssertionError`` if the set's internal state is corrupt.
+
+        Mirror of :meth:`SlotCacheArray.check_integrity` for the
+        reference backend: key/line agreement, set membership, and
+        occupancy within the associativity.
+        """
+        lines = self._sets[set_idx]
+        if len(lines) > self._ways:
+            raise AssertionError(
+                f"set {set_idx}: {len(lines)} lines exceed {self._ways} ways"
+            )
+        for addr, line in lines.items():
+            if line.addr != addr:
+                raise AssertionError(
+                    f"set {set_idx}: key {addr:#x} maps to line "
+                    f"{line.addr:#x}"
+                )
+            if addr & self.set_mask != set_idx:
+                raise AssertionError(
+                    f"set {set_idx}: line {addr:#x} belongs to set "
+                    f"{addr & self.set_mask}"
+                )
 
     def iter_lines(self) -> Iterator[Line]:
         for lines in self._sets:

@@ -47,6 +47,15 @@ Commands
 
         printf '{"mix": "471+444"}\n' | python -m repro.cli serve
 
+``verify``
+    The verification harness (:mod:`repro.verify`).  Without flags,
+    simulate the spec once with the runtime invariant checker attached
+    and print its digest; with ``--grid``, execute it across every
+    {cache backend} x {trace mode} x {execution path} combination and
+    assert the twelve result digests are identical::
+
+        python -m repro.cli verify --mix 471+444 --grid --jobs 2
+
 Simulation parameters (``--mix``, ``--scheme``, ``--quota``,
 ``--warmup``, ``--seed``) describe a :class:`repro.api.RunSpec`; each
 command builds one spec and validates it through
@@ -69,7 +78,10 @@ cache; re-running the same command resumes, simulating only what
 remains.  ``--trace-cache/--no-trace-cache`` (every simulating command)
 toggles the materialized-trace layer — workload access traces drained
 once and replayed bit-identically across repeats, sizes and schemes —
-overriding the ``REPRO_TRACE_CACHE`` environment default (on).  The hidden ``REPRO_FAULT_PLAN`` environment variable (e.g.
+overriding the ``REPRO_TRACE_CACHE`` environment default (on).
+``--sanitize`` (every simulating command) attaches the runtime
+invariant checker from :mod:`repro.verify` — zero-cost when off,
+``REPRO_SANITIZE=1`` is the environment equivalent.  The hidden ``REPRO_FAULT_PLAN`` environment variable (e.g.
 ``"crash=1,hang=1,seed=7"``) injects deterministic worker faults for
 chaos runs; see :mod:`repro.experiments.faults`.
 """
@@ -173,6 +185,7 @@ _FLAG_FOR_FIELD = {
     "seed": "--seed",
     "events": "--events",
     "trace_cache": "--trace-cache",
+    "sanitize": "--sanitize",
 }
 
 
@@ -206,6 +219,7 @@ def _spec_from_args(args: argparse.Namespace, **overrides) -> RunSpec:
         warmup=args.warmup,
         seed=args.seed,
         trace_cache=getattr(args, "trace_cache", None),
+        sanitize=getattr(args, "sanitize", None),
     )
     params.update(overrides)
     try:
@@ -557,6 +571,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 130
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.api.session import result_digest
+
+    spec = _spec_from_args(args)
+    if args.grid:
+        from repro.verify import run_grid
+
+        def progress(cell) -> None:
+            print(f"  {cell.label:<24} {cell.digest[:16]}", file=sys.stderr)
+
+        report = run_grid(spec, jobs=args.jobs, progress=progress)
+        print(report.describe())
+        return 0 if report.ok else 1
+
+    from repro.experiments.runner import simulate_spec
+
+    result = simulate_spec(spec.replace(sanitize=True))
+    print(f"{spec.name}: sanitized run clean, digest {result_digest(result)}")
+    return 0
+
+
 def _positive_int(label: str):
     def parse(text: str) -> int:
         try:
@@ -716,6 +751,17 @@ def build_parser() -> argparse.ArgumentParser:
             "default: on, or the REPRO_TRACE_CACHE environment variable)",
         )
 
+    def add_sanitize_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--sanitize",
+            action="store_true",
+            default=None,
+            help="attach the runtime invariant checker (repro.verify) to "
+            "every simulation: MESI legality, L1 inclusion, recency-stack "
+            "integrity, SSL bounds and spill conservation are validated "
+            "as the run executes (default: off, or REPRO_SANITIZE=1)",
+        )
+
     def add_spec_flags(p: argparse.ArgumentParser) -> None:
         """The flags describing one RunSpec, registered identically
         everywhere; boundary policing happens in ``RunSpec.validate``."""
@@ -732,12 +778,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_spec_flags(run_p)
     add_parallel_flags(run_p)
     add_trace_cache_flag(run_p)
+    add_sanitize_flag(run_p)
     run_p.set_defaults(fn=_cmd_run)
 
     exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
     exp_p.add_argument("name", help=", ".join(sorted(_EXPERIMENTS)))
     add_parallel_flags(exp_p)
     add_trace_cache_flag(exp_p)
+    add_sanitize_flag(exp_p)
     exp_p.set_defaults(fn=_cmd_experiment)
 
     cal_p = sub.add_parser("calibrate", help="compare models against Table 3")
@@ -768,6 +816,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_parallel_flags(batch_p)
     add_durability_flags(batch_p)
     add_trace_cache_flag(batch_p)
+    add_sanitize_flag(batch_p)
     batch_p.set_defaults(fn=_cmd_batch)
 
     serve_p = sub.add_parser(
@@ -788,6 +837,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_parallel_flags(serve_p)
     add_durability_flags(serve_p)
     add_trace_cache_flag(serve_p)
+    add_sanitize_flag(serve_p)
     serve_p.set_defaults(fn=_cmd_serve)
 
     stats_p = sub.add_parser(
@@ -808,6 +858,7 @@ def build_parser() -> argparse.ArgumentParser:
         "snapshots) as JSON here",
     )
     add_trace_cache_flag(stats_p)
+    add_sanitize_flag(stats_p)
     stats_p.set_defaults(fn=_cmd_stats)
 
     trace_p = sub.add_parser(
@@ -834,7 +885,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSONL here instead of stdout",
     )
     add_trace_cache_flag(trace_p)
+    add_sanitize_flag(trace_p)
     trace_p.set_defaults(fn=_cmd_trace)
+
+    verify_p = sub.add_parser(
+        "verify",
+        help="verification harness: sanitized run, or the full "
+        "differential grid (--grid)",
+    )
+    add_spec_flags(verify_p)
+    verify_p.add_argument(
+        "--grid",
+        action="store_true",
+        help="run the spec across {slot,dict} x {traces on,off} x "
+        "{serial,parallel,batch} (12 cells) and assert every result "
+        "digest is identical",
+    )
+    verify_p.add_argument(
+        "--jobs",
+        type=_positive_int("--jobs"),
+        default=2,
+        help="worker processes for the grid's parallel/batch cells (default: 2)",
+    )
+    add_trace_cache_flag(verify_p)
+    verify_p.set_defaults(fn=_cmd_verify)
     return parser
 
 
@@ -847,6 +921,10 @@ def main(argv: list[str] | None = None) -> int:
         # reads, and worker processes inherit it — so the flag reaches
         # every simulation path, spec-built or not.
         os.environ["REPRO_TRACE_CACHE"] = "1" if trace_cache else "0"
+    if getattr(args, "sanitize", None):
+        # Same propagation trick as the trace cache: the sanitizer's
+        # env default reaches worker processes and spec-less paths.
+        os.environ["REPRO_SANITIZE"] = "1"
     try:
         return args.fn(args)
     except KeyboardInterrupt:

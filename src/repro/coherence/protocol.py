@@ -51,6 +51,16 @@ TRANSITIONS: dict[tuple[Mesi, str], Mesi] = {
 }
 
 
+def is_legal(current: Mesi, event: str) -> bool:
+    """Whether ``event`` is a legal transition out of ``current``.
+
+    The predicate form of :func:`next_state`, used by the runtime
+    sanitizer (:mod:`repro.verify`) to validate observed coherence
+    events without paying for exception control flow.
+    """
+    return (current, event) in TRANSITIONS
+
+
 def next_state(current: Mesi, event: str) -> Mesi:
     """Next MESI state after ``event``; raises on an illegal transition."""
     try:

@@ -40,7 +40,15 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 #: Fault kinds the worker knows how to apply (see :func:`apply_fault`).
-FAULT_KINDS = ("crash", "hang", "die", "corrupt", "stall_heartbeat", "crash_process")
+FAULT_KINDS = (
+    "crash",
+    "hang",
+    "die",
+    "corrupt",
+    "stall_heartbeat",
+    "crash_process",
+    "corrupt_state",
+)
 
 #: Default sleep for ``hang`` faults — long enough to trip any sane
 #: per-cell timeout, short enough that an orphaned worker exits soon.
@@ -72,6 +80,12 @@ class Fault:
         ``crash_process`` — ``SIGKILL`` the worker's own process (the
         hardest death: no Python teardown, breaks the pool; downgraded
         to ``crash`` when applied in-process).
+        ``corrupt_state`` — arm a one-shot *simulator state* corruption
+        (one resident cache line flipped to INVALID mid-run) consumed by
+        the :mod:`repro.verify` sanitizer; a sanitized run must die with
+        ``InvariantViolation`` instead of returning silently-wrong
+        results.  Without the sanitizer attached the armed corruption is
+        never injected, so an unsanitized run completes normally.
     ``attempt``
         The 1-based attempt number the fault fires on.  Any other
         attempt of the same cell runs clean, so a retried cell recovers.
@@ -136,6 +150,14 @@ def apply_fault(
         return None
     if kind == "corrupt":
         return CORRUPTED_RESULT
+    if kind == "corrupt_state":
+        from repro.verify.sanitizer import arm_state_corruption
+
+        # ``seconds`` doubles as the corruption seed (an int in every
+        # plan constructor); the next sanitized simulation in this
+        # process injects and must catch the corruption.
+        arm_state_corruption(int(seconds))
+        return None
     raise ValueError(f"unknown fault kind {kind!r}")
 
 

@@ -88,6 +88,17 @@ def simulate_spec(spec: RunSpec, observer=None) -> SystemResult:
         hierarchy: PrivateHierarchy | SharedHierarchy = SharedHierarchy(config)
     else:
         hierarchy = PrivateHierarchy(config, make_policy(spec.scheme))
+        sanitize = spec.sanitize
+        if sanitize is None:
+            from repro.verify.sanitizer import env_sanitize_enabled
+
+            sanitize = env_sanitize_enabled()
+        if sanitize:
+            # Read-only invariant checking: the sanitized run stays
+            # bit-identical to a plain run (see repro.verify.sanitizer).
+            from repro.verify.sanitizer import attach_sanitizer
+
+            attach_sanitizer(hierarchy)
     engine = Engine(
         hierarchy,
         workloads,

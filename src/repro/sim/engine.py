@@ -156,6 +156,12 @@ class Engine:
                         core.threshold = min(
                             core.state_threshold, core.next_sample
                         )
+        # The runtime sanitizer (repro.verify) hangs off the hierarchy;
+        # the engine only needs to know it for cycle context and the
+        # end-of-run sweep — nothing in the hot loop touches it.
+        self._sanitizer = getattr(hierarchy, "sanitizer", None)
+        if self._sanitizer is not None:
+            self._sanitizer.bind_engine(self)
         if warmup:
             for stats in hierarchy.stats:  # type: ignore[attr-defined]
                 stats.recording = False
@@ -381,3 +387,5 @@ class Engine:
         core.chunk_pos = chunk_pos
         if observer is not None:
             observer.finish()
+        if self._sanitizer is not None:
+            self._sanitizer.final_check()

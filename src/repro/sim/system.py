@@ -54,6 +54,14 @@ class MemoryHierarchy(abc.ABC):
     #: its zero-cost branch; the engine sets this when one is attached.
     observer = None
 
+    #: Optional :class:`~repro.verify.sanitizer.InvariantChecker`.  Same
+    #: zero-cost-when-off contract as ``observer``: every check site is
+    #: guarded by ``is not None`` and sits on miss/coherence paths — the
+    #: local-hit fast path never looks at it.  Attached by
+    #: ``repro.verify.attach_sanitizer`` (``--sanitize`` /
+    #: ``REPRO_SANITIZE=1`` / ``RunSpec.sanitize``).
+    sanitizer = None
+
     @abc.abstractmethod
     def access(self, core_id: int, line_addr: int, is_write: bool, pc: int) -> float:
         """Handle an L1-missing access; return its latency in cycles."""
@@ -189,6 +197,9 @@ class PrivateHierarchy(MemoryHierarchy):
                 self.l2s[holder].lookup(line_addr)  # promote to MRU
                 if is_write:
                     remote_line.state = Mesi.MODIFIED
+                san = self.sanitizer
+                if san is not None:
+                    san.after_access(holder, line_addr)
                 return lat.l2_remote_hit
             # ASCC-family swap (Section 3.2): the requested line migrates
             # home and the local victim — when it is the last copy — takes
@@ -206,10 +217,13 @@ class PrivateHierarchy(MemoryHierarchy):
             return lat.l2_remote_hit
 
         migrated_holder: Optional[int] = None
+        san = self.sanitizer
         if is_write:
             # MESI write: all remote copies are invalidated.
             new_state = Mesi.MODIFIED
             for h in holders:
+                if san is not None:
+                    san.check_transition(h, line_addr, "remote_write")
                 self._invalidate_at(h, line_addr)
             migrated_holder = holder
         else:
@@ -218,9 +232,13 @@ class PrivateHierarchy(MemoryHierarchy):
             for h in holders:
                 peer = self.l2s[h].probe(line_addr)
                 if peer is not None and peer.state is Mesi.MODIFIED:
+                    if san is not None:
+                        san.on_transition(h, line_addr, peer.state, "remote_read")
                     self._writeback(h)
                     peer.state = Mesi.SHARED
                 elif peer is not None and peer.state is Mesi.EXCLUSIVE:
+                    if san is not None:
+                        san.on_transition(h, line_addr, peer.state, "remote_read")
                     peer.state = Mesi.SHARED
 
         self._allocate_local(core_id, line_addr, set_idx, new_state, migrated_holder)
@@ -260,16 +278,22 @@ class PrivateHierarchy(MemoryHierarchy):
         if cache.occupancy(set_idx) >= cache.geometry.ways:
             victim_pos = policy.choose_victim_position(core_id, set_idx, "demand")
             victim = cache.victim_candidate(set_idx, victim_pos)
+        san = self.sanitizer
         if victim is not None:
             last_copy = self.directory.is_last_copy(victim.addr, core_id)
             cache.evict(victim.addr)
             self.l1s[core_id].invalidate(victim.addr)
+            if san is not None:
+                san.on_line_removed(core_id, victim)
+                san.after_back_invalidate(core_id, victim.addr)
             self._dispose_victim(core_id, set_idx, victim, last_copy, migrated_holder)
             # Disposal copied whatever it needed (spill fills build a new
             # line from the victim's fields), so the slot can be recycled.
             cache.release(victim)
         pos = policy.insertion_position(core_id, set_idx)
         cache.fill_fields(line_addr, state, position=pos)
+        if san is not None:
+            san.after_access(core_id, line_addr)
 
     def _dispose_victim(
         self,
@@ -319,6 +343,10 @@ class PrivateHierarchy(MemoryHierarchy):
                 r_last = self.directory.is_last_copy(r_victim.addr, dst)
                 cache.evict(r_victim.addr)
                 self.l1s[dst].invalidate(r_victim.addr)
+                san = self.sanitizer
+                if san is not None:
+                    san.on_line_removed(dst, r_victim)
+                    san.after_back_invalidate(dst, r_victim.addr)
                 if r_last:
                     # No cascading spills: displaced lines go to memory.
                     self._evict_to_memory(dst, r_victim)
@@ -351,6 +379,9 @@ class PrivateHierarchy(MemoryHierarchy):
                 set=set_idx,
                 addr=victim.addr,
             )
+        san = self.sanitizer
+        if san is not None:
+            san.on_spill_fill(src, dst, set_idx, victim.addr, swap)
 
     # ------------------------------------------------------------------ #
     # Coherence helpers
@@ -359,6 +390,9 @@ class PrivateHierarchy(MemoryHierarchy):
     def _write_upgrade(self, core_id: int, line: Line) -> None:
         """Local write hit: invalidate remote copies, go to M."""
         if line.state is not Mesi.MODIFIED:
+            san = self.sanitizer
+            if san is not None:
+                san.on_transition(core_id, line.addr, line.state, "write_hit")
             peers = self.directory.peers(line.addr, core_id)
             for h in peers:
                 self._invalidate_at(h, line.addr)
@@ -369,10 +403,15 @@ class PrivateHierarchy(MemoryHierarchy):
     def _invalidate_at(self, holder: int, line_addr: int) -> None:
         cache = self.l2s[holder]
         line = cache.invalidate(line_addr)
+        san = self.sanitizer
         if line is not None:
+            if san is not None:
+                san.on_line_removed(holder, line)
             cache.release(line)
         self.l1s[holder].invalidate(line_addr)
         self.traffic.invalidations += 1
+        if san is not None:
+            san.after_back_invalidate(holder, line_addr)
 
     def _writeback(self, core_id: int) -> None:
         self.traffic.writebacks += 1
@@ -395,18 +434,24 @@ class PrivateHierarchy(MemoryHierarchy):
             if target < 0 or cache.contains(target) or self.directory.is_on_chip(target):
                 continue
             set_idx = target & cache.set_mask
+            san = self.sanitizer
             if cache.occupancy(set_idx) >= cache.geometry.ways:
                 victim = cache.victim_candidate(set_idx)
                 assert victim is not None
                 last = self.directory.is_last_copy(victim.addr, core_id)
                 cache.evict(victim.addr)
                 self.l1s[core_id].invalidate(victim.addr)
+                if san is not None:
+                    san.on_line_removed(core_id, victim)
+                    san.after_back_invalidate(core_id, victim.addr)
                 if last:
                     self._evict_to_memory(core_id, victim)
                 cache.release(victim)
             # Install near LRU so useless prefetches pollute minimally.
             pos = max(0, cache.geometry.ways - 2)
             cache.fill_fields(target, Mesi.EXCLUSIVE, prefetched=True, position=pos)
+            if san is not None:
+                san.check_set(core_id, set_idx)
             self.traffic.prefetch_fills += 1
             if stats.recording:
                 stats.prefetches_issued += 1

@@ -1,4 +1,4 @@
-"""Shared test infrastructure: a per-test wall-clock timeout.
+"""Shared test infrastructure: per-test timeouts and hypothesis profiles.
 
 A regression that hangs the supervisor (or any simulation loop) must
 fail fast instead of stalling the whole run.  CI installs
@@ -6,12 +6,41 @@ fail fast instead of stalling the whole run.  CI installs
 checkout) this fallback arms a ``SIGALRM`` per test with the same
 budget, so the guarantee holds everywhere POSIX.  Override with
 ``REPRO_TEST_TIMEOUT`` seconds; ``0`` disables the fallback.
+
+Hypothesis runs under two registered profiles, selected by the
+``HYPOTHESIS_PROFILE`` environment variable:
+
+* ``default`` — fast enough for every push (deadlines off: simulation
+  startup makes per-example deadlines flaky);
+* ``nightly`` — the scheduled deep-fuzz configuration.  Property tests
+  that want more than the profile's example count scale themselves with
+  :func:`examples` (e.g. the cache-array oracle lockstep), so one env
+  variable turns the whole suite up.
 """
 
 import os
 import signal
 
 import pytest
+
+try:
+    from hypothesis import settings as _hyp_settings
+except ImportError:  # pragma: no cover - hypothesis ships with the test env
+    _hyp_settings = None
+else:
+    _hyp_settings.register_profile("default", deadline=None)
+    _hyp_settings.register_profile("nightly", deadline=None, max_examples=1000)
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+#: Multiplier the nightly profile applies to explicit example counts.
+NIGHTLY_SCALE = 10
+
+
+def examples(base: int) -> int:
+    """``base`` examples normally, ``NIGHTLY_SCALE x`` under nightly."""
+    if os.environ.get("HYPOTHESIS_PROFILE") == "nightly":
+        return base * NIGHTLY_SCALE
+    return base
 
 #: Per-test budget in seconds.  Generous: the slowest legitimate tests
 #: (module-scoped simulation fixtures) finish well under a minute.

@@ -4,7 +4,9 @@ Two layers of lockstep checking:
 
 * each registered backend (``slot``, ``dict``) against a brutally simple
   list-based oracle — same hit/miss answers, same victims, same recency
-  order in every set, same occupancy after every operation;
+  order in every set, same occupancy after every operation; the op
+  stream drives the full hierarchy surface including targeted ``evict``
+  (the swap-partner path) and spilled-bit flips on resident lines;
 * the slot backend directly against the OrderedDict reference, with a
   richer op stream (``fill_fields`` with states and flags, ``evict``,
   victim ``release`` into the slot pool, in-place flag flips) asserting
@@ -14,6 +16,8 @@ Two layers of lockstep checking:
 
 import pytest
 from hypothesis import given, settings, strategies as st
+
+from tests.conftest import examples
 
 from repro.cache.cache import (
     CACHE_BACKENDS,
@@ -61,6 +65,15 @@ class OracleArray:
                 return stack.pop(i)
         return None
 
+    def evict(self, addr):
+        line = self.invalidate(addr)
+        if line is None:
+            raise KeyError(f"line {addr:#x} not present")
+        return line
+
+    def probe(self, addr):
+        return self.lookup(addr, promote=False)
+
     def victim_candidate(self, set_idx, position=None):
         stack = self.sets[set_idx]
         if len(stack) < WAYS:
@@ -79,6 +92,8 @@ operations = st.one_of(
         st.one_of(st.none(), st.integers(min_value=0, max_value=WAYS - 1)),
     ),
     st.tuples(st.just("invalidate"), addresses),
+    st.tuples(st.just("evict"), addresses),
+    st.tuples(st.just("spill_flag"), addresses, st.booleans()),
     st.tuples(
         st.just("victim"),
         st.integers(min_value=0, max_value=SETS - 1),
@@ -87,16 +102,16 @@ operations = st.one_of(
 )
 
 
-def stacks(array) -> list[list[int]]:
-    return [[l.addr for l in array.set_lines(i)] for i in range(SETS)]
+def stacks(array) -> list[list[tuple]]:
+    return [[(l.addr, l.spilled) for l in array.set_lines(i)] for i in range(SETS)]
 
 
-def oracle_stacks(oracle: OracleArray) -> list[list[int]]:
-    return [[l.addr for l in stack] for stack in oracle.sets]
+def oracle_stacks(oracle: OracleArray) -> list[list[tuple]]:
+    return [[(l.addr, l.spilled) for l in stack] for stack in oracle.sets]
 
 
 @pytest.mark.parametrize("backend", sorted(CACHE_BACKENDS))
-@settings(max_examples=200)
+@settings(max_examples=examples(200))
 @given(ops=st.lists(operations, max_size=60))
 def test_lockstep_with_reference_model(backend, ops):
     array, oracle = CACHE_BACKENDS[backend](GEOMETRY), OracleArray()
@@ -129,6 +144,20 @@ def test_lockstep_with_reference_model(backend, ops):
             assert (got is None) == (want is None)
             if got is not None:
                 assert got.addr == want.addr
+        elif op[0] == "evict":
+            _, addr = op
+            if not array.contains(addr):
+                continue  # evict() raises on absent lines; covered below
+            got, want = array.evict(addr), oracle.evict(addr)
+            assert got.addr == want.addr
+            assert got.spilled == want.spilled
+        elif op[0] == "spill_flag":
+            _, addr, flag = op
+            got, want = array.probe(addr), oracle.probe(addr)
+            assert (got is None) == (want is None)
+            if got is not None:
+                got.spilled = flag
+                want.spilled = flag
         else:  # victim candidate peek
             _, set_idx, position = op
             if position is not None and position >= array.occupancy(set_idx):
@@ -142,9 +171,17 @@ def test_lockstep_with_reference_model(backend, ops):
         assert stacks(array) == oracle_stacks(oracle)
         assert len(array) == sum(len(s) for s in oracle.sets)
         for set_idx, stack in enumerate(oracle_stacks(oracle)):
-            for pos, addr in enumerate(stack):
+            for pos, (addr, _spilled) in enumerate(stack):
                 assert array.recency_position(addr) == pos
                 assert array.probe(addr) is not None
+
+
+@pytest.mark.parametrize("backend", sorted(CACHE_BACKENDS))
+def test_evict_absent_line_raises(backend):
+    """Targeted evict of a non-resident line is a caller bug, not a no-op."""
+    array = CACHE_BACKENDS[backend](GEOMETRY)
+    with pytest.raises(KeyError):
+        array.evict(5)
 
 
 # --------------------------------------------------------------------- #
@@ -193,7 +230,7 @@ def full_state(array) -> list[list[tuple]]:
     ]
 
 
-@settings(max_examples=300)
+@settings(max_examples=examples(300))
 @given(ops=st.lists(rich_operations, max_size=80))
 def test_slot_and_dict_backends_lockstep(ops):
     """Identical op streams leave both backends in identical full state.

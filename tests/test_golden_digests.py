@@ -19,6 +19,9 @@ Regenerate (only after an *intentional* behaviour change) with::
     REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_digests.py
 
 and commit the refreshed JSON together with the change that justifies it.
+The update run prints each scheme's old -> new digest (``-s`` to see
+them) and refuses to run when the ``CI`` environment variable is set —
+golden updates are a reviewed, local-only operation.
 """
 
 from __future__ import annotations
@@ -81,6 +84,18 @@ def test_fixed_seed_run_matches_golden_digest(scheme):
     golden = load_golden()
     measured = digest(simulate(scheme))
     if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        assert not os.environ.get("CI"), (
+            "REPRO_UPDATE_GOLDEN must never run in CI: golden digests are "
+            "regenerated locally, reviewed, and committed with the "
+            "behaviour change that justifies them"
+        )
+        previous = golden.get("digests", {}).get(scheme)
+        if previous is None:
+            print(f"golden: {scheme}: NEW {measured[:16]}")
+        elif previous != measured:
+            print(f"golden: {scheme}: {previous[:16]} -> {measured[:16]}")
+        else:
+            print(f"golden: {scheme}: unchanged")
         golden.setdefault("config", {}).update(
             mix=list(MIX), quota=QUOTA, warmup=WARMUP, seed=SEED
         )

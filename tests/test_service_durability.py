@@ -140,6 +140,26 @@ def test_aborted_batch_keeps_submissions_for_resume(tmp_path):
     assert sorted(p for _, _, p in replay.pending) == [0, 1, 2, 3]
 
 
+def test_journal_roundtrip_preserves_sanitize(tmp_path):
+    """``RunSpec.sanitize`` survives the WAL: a sanitized batch that
+    crashes must resume *sanitized*, not silently drop the checker."""
+    sched = BatchScheduler(jobs=1, cache_dir=tmp_path, start=False)
+    sched.submit(spec(sanitize=True))
+    sched.submit(spec(scheme="baseline"))  # sanitize unset -> env default
+    sched.close(drain=False)
+
+    replay = replay_journal(tmp_path)
+    restored = {
+        s.scheme: s
+        for s in (RunSpec.from_dict(d) for _, d, _ in replay.pending)
+    }
+    assert restored["avgcc"].sanitize is True
+    assert restored["baseline"].sanitize is None
+    # The journal dict itself carries the field (not a from_dict default).
+    payloads = {d["scheme"]: d for _, d, _ in replay.pending}
+    assert payloads["avgcc"]["sanitize"] is True
+
+
 def test_recover_reruns_outstanding_work_bit_identically(tmp_path):
     specs = four_specs()
     interrupted = BatchScheduler(jobs=1, cache_dir=tmp_path / "a", start=False)

@@ -1,0 +1,161 @@
+"""Metamorphic properties of the simulator, direct and under hypothesis.
+
+Exercises :mod:`repro.verify.metamorphic` at the three exactness tiers
+its module docstring promises:
+
+* baseline is permutation-symmetric at any core count (fuzzed);
+* every non-DSR scheme is permutation-symmetric on 2-core mixes
+  (exhaustive over the registry);
+* ascc/avgcc at 3-4 cores are certified on pinned configurations where
+  no multi-candidate RNG draw occurs — and the DSR family's
+  position-dependence (set-dueling monitors pinned to cache positions)
+  is asserted to *actually* break symmetry, so the exclusion list never
+  goes stale silently.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.api import RunSpec
+from repro.verify import (
+    PERMUTATION_EXACT_SCHEMES,
+    PERMUTATION_PAIR_EXCLUDED,
+    check_alone_equivalence,
+    check_core_permutation,
+    check_seed_stability,
+    check_warmup_monotonicity,
+    pair_permutation_schemes,
+    simulate_permuted,
+)
+from repro.verify.metamorphic import permutation_strategy, spec_strategy
+from tests.conftest import examples
+
+SIM_SETTINGS = settings(
+    max_examples=examples(8),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# --------------------------------------------------------------------- #
+# Core-permutation symmetry
+# --------------------------------------------------------------------- #
+
+
+@SIM_SETTINGS
+@given(
+    spec=spec_strategy(
+        schemes=PERMUTATION_EXACT_SCHEMES,
+        min_cores=2,
+        max_cores=4,
+        min_quota=500,
+        max_quota=1_500,
+        max_warmup=600,
+    )
+)
+def test_baseline_permutation_symmetry_fuzzed(spec):
+    """Baseline: exact under a nontrivial rotation at any core count."""
+    n = len(spec.mix)
+    perm = tuple(range(1, n)) + (0,)
+    check_core_permutation(spec, perm)
+
+
+@pytest.mark.parametrize("scheme", pair_permutation_schemes())
+def test_two_core_permutation_symmetry(scheme):
+    spec = RunSpec(mix=(471, 444), scheme=scheme, quota=1_500, warmup=500)
+    check_core_permutation(spec, (1, 0))
+
+
+@pytest.mark.parametrize("scheme", ["ascc", "avgcc"])
+@pytest.mark.parametrize(
+    "mix,perm",
+    [
+        ((444, 429, 471), (2, 0, 1)),
+        ((471, 444, 429, 433), (3, 1, 0, 2)),
+    ],
+)
+def test_pinned_multicore_permutation_symmetry(scheme, mix, perm):
+    """3- and 4-core configurations certified free of multi-candidate
+    RNG draws (see the metamorphic module docstring): symmetry is exact."""
+    spec = RunSpec(mix=mix, scheme=scheme, quota=2_000, warmup=500)
+    check_core_permutation(spec, perm)
+
+
+@pytest.mark.parametrize("scheme", sorted(PERMUTATION_PAIR_EXCLUDED))
+def test_dsr_family_genuinely_breaks_pair_symmetry(scheme):
+    """The exclusion list must stay honest: each excluded scheme really
+    diverges under a 2-core swap (set-dueling monitors are pinned to
+    cache positions by design)."""
+    spec = RunSpec(mix=(471, 444), scheme=scheme, quota=2_000, warmup=500)
+    with pytest.raises(AssertionError):
+        check_core_permutation(spec, (1, 0))
+
+
+def test_identity_permutation_is_trivially_exact():
+    spec = RunSpec(mix=(471, 444), scheme="dsr", quota=1_000, warmup=300)
+    check_core_permutation(spec, (0, 1))  # even for DSR
+
+
+def test_simulate_permuted_rejects_non_permutation():
+    spec = RunSpec(mix=(471, 444), scheme="baseline", quota=800, warmup=200)
+    with pytest.raises(ValueError, match="not a permutation"):
+        simulate_permuted(spec, (0, 0))
+    with pytest.raises(ValueError, match="not a permutation"):
+        simulate_permuted(spec, (0,))
+
+
+@SIM_SETTINGS
+@given(perm=permutation_strategy(4))
+def test_permutation_strategy_yields_permutations(perm):
+    assert sorted(perm) == [0, 1, 2, 3]
+
+
+# --------------------------------------------------------------------- #
+# Seed stability
+# --------------------------------------------------------------------- #
+
+
+@SIM_SETTINGS
+@given(
+    spec=spec_strategy(
+        schemes=("baseline", "ascc", "avgcc", "dsr"),
+        max_cores=2,
+        max_quota=1_200,
+        max_warmup=400,
+    )
+)
+def test_seed_stability_fuzzed(spec):
+    check_seed_stability(spec)
+
+
+# --------------------------------------------------------------------- #
+# Warmup monotonicity
+# --------------------------------------------------------------------- #
+
+
+def test_warmup_monotonicity():
+    spec = RunSpec(mix=(471, 444), scheme="avgcc", quota=1_500, warmup=500)
+    check_warmup_monotonicity(spec, warmups=[200, 800, 1_500])
+
+
+def test_warmup_monotonicity_rejects_zero_warmup():
+    spec = RunSpec(mix=(471,), scheme="baseline", quota=500, warmup=100)
+    with pytest.raises(ValueError, match="positive warmups"):
+        check_warmup_monotonicity(spec, warmups=[0, 100])
+
+
+# --------------------------------------------------------------------- #
+# Alone-run equivalence
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("scheme", pair_permutation_schemes() + list(PERMUTATION_PAIR_EXCLUDED))
+def test_alone_run_equals_baseline(scheme):
+    spec = RunSpec(mix=(471,), scheme=scheme, quota=1_200, warmup=400)
+    check_alone_equivalence(spec)
+
+
+def test_alone_equivalence_rejects_multicore_specs():
+    spec = RunSpec(mix=(471, 444), scheme="avgcc", quota=500, warmup=100)
+    with pytest.raises(ValueError, match="1-core"):
+        check_alone_equivalence(spec)
