@@ -421,6 +421,12 @@ def _parse_batch_specs(text: str, source: str) -> tuple[list, list]:
 
 
 def _scheduler_flags(args: argparse.Namespace) -> dict:
+    executor = getattr(args, "executor", "local")
+    executor_options: dict = {}
+    if args.hang_grace is not None:
+        executor_options["hang_grace"] = args.hang_grace
+    if executor == "cluster":
+        executor_options["listen"] = getattr(args, "cluster_listen", "127.0.0.1:0")
     return dict(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -429,12 +435,26 @@ def _scheduler_flags(args: argparse.Namespace) -> dict:
         report_path=args.report,
         metrics_path=args.metrics,
         journal=args.journal,
-        hang_grace=args.hang_grace,
         max_queue_depth=args.max_queue,
         max_bytes=args.max_bytes,
         shed_policy=args.shed_policy,
         breaker_threshold=args.breaker_failures,
         breaker_reset=args.breaker_reset,
+        executor=executor,
+        executor_options=executor_options,
+    )
+
+
+def _announce_cluster(scheduler) -> None:
+    """Print the coordinator's bound address so workers can be started."""
+    executor = scheduler.executor
+    if getattr(executor, "kind", "local") != "cluster":
+        return
+    host, port = executor.address
+    print(
+        f"repro: cluster coordinator on {host}:{port} — start workers "
+        f"with: repro worker --connect {host}:{port}",
+        file=sys.stderr,
     )
 
 
@@ -453,6 +473,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 "to the result cache)"
             )
         scheduler = BatchScheduler(**_scheduler_flags(args))
+        _announce_cluster(scheduler)
         try:
             summary = scheduler.resume_from_journal()
         except JournalError as exc:
@@ -490,6 +511,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         except json.JSONDecodeError as exc:
             raise _spec_error(f"{source}: not valid JSON: {exc}") from None
         scheduler = BatchScheduler(**_scheduler_flags(args))
+        _announce_cluster(scheduler)
         pairs = []
         try:
             for spec, priority in zip(specs, priorities):
@@ -544,6 +566,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import BatchScheduler, BatchHTTPServer, serve_jsonl
 
     scheduler = BatchScheduler(**_scheduler_flags(args))
+    _announce_cluster(scheduler)
     try:
         if args.http is not None:
             server = BatchHTTPServer(("127.0.0.1", args.http), scheduler)
@@ -569,6 +592,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 130
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.cluster import run_worker
+
+    try:
+        return run_worker(args.connect, slots=args.slots, name=args.label)
+    except KeyboardInterrupt:
+        print("worker: interrupted", file=sys.stderr)
+        return 130
+    except OSError as exc:
+        print(f"worker: cannot reach coordinator {args.connect}: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -741,6 +777,25 @@ def build_parser() -> argparse.ArgumentParser:
             "submission through (default: 30)",
         )
 
+    def add_executor_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--executor",
+            choices=("local", "cluster"),
+            default="local",
+            help="execution backend: 'local' runs the supervised process "
+            "pool in this process (bit-identical to previous releases); "
+            "'cluster' leases cells to remote 'repro worker' processes "
+            "over TCP (default: local)",
+        )
+        p.add_argument(
+            "--cluster-listen",
+            default="127.0.0.1:0",
+            metavar="HOST:PORT",
+            help="coordinator bind address for --executor cluster; "
+            "port 0 picks a free one and the bound address is printed "
+            "on stderr (default: 127.0.0.1:0)",
+        )
+
     def add_trace_cache_flag(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--trace-cache",
@@ -815,6 +870,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_parallel_flags(batch_p)
     add_durability_flags(batch_p)
+    add_executor_flags(batch_p)
     add_trace_cache_flag(batch_p)
     add_sanitize_flag(batch_p)
     batch_p.set_defaults(fn=_cmd_batch)
@@ -836,9 +892,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_parallel_flags(serve_p)
     add_durability_flags(serve_p)
+    add_executor_flags(serve_p)
     add_trace_cache_flag(serve_p)
     add_sanitize_flag(serve_p)
     serve_p.set_defaults(fn=_cmd_serve)
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="join a batch coordinator as a remote execution worker",
+    )
+    worker_p.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address printed by "
+        "'repro batch/serve --executor cluster'",
+    )
+    worker_p.add_argument(
+        "--slots",
+        type=_positive_int("--slots"),
+        default=1,
+        help="leases this worker executes concurrently (default: 1)",
+    )
+    worker_p.add_argument(
+        "--label",
+        default=None,
+        metavar="NAME",
+        help="worker name reported to the coordinator "
+        "(default: hostname-pid)",
+    )
+    worker_p.set_defaults(fn=_cmd_worker)
 
     stats_p = sub.add_parser(
         "stats", help="per-core interval telemetry (MPKI/CPI/spills/SSL)"

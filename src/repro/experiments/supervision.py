@@ -94,6 +94,10 @@ class CellRecord:
     duration: float = 0.0
     #: Summed ready-to-submitted latency across this cell's attempts.
     queue_seconds: float = 0.0
+    #: Which execution backend worker finished the cell — empty for the
+    #: local pool (anonymous child processes), the registered worker
+    #: name under the cluster executor.
+    worker: str = ""
     errors: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
@@ -106,6 +110,7 @@ class CellRecord:
             "attempts": self.attempts,
             "duration": round(self.duration, 6),
             "queue_seconds": round(self.queue_seconds, 6),
+            "worker": self.worker,
             "errors": list(self.errors),
         }
 

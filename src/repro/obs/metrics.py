@@ -16,19 +16,37 @@ from typing import IO, Iterable
 _PREFIX = "repro"
 
 
-def _escape(value: str) -> str:
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash first (it is the escape character itself), then quote and
+    newline — scheme/mix names containing any of the three would
+    otherwise emit an unparsable scrape page.
+    """
     return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def escape_help(text: str) -> str:
+    """Escape ``# HELP`` text per the spec: backslash and newline only
+    (quotes are legal in help text, unlike in label values)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+#: Backwards-compatible alias (pre-PR-9 name).
+_escape = escape_label_value
 
 
 def _labels(**labels: object) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{key}="{_escape(str(val))}"' for key, val in labels.items())
+    inner = ",".join(
+        f'{key}="{escape_label_value(str(val))}"' for key, val in labels.items()
+    )
     return "{" + inner + "}"
 
 
 def _metric(lines: list, name: str, kind: str, help_text: str) -> None:
-    lines.append(f"# HELP {_PREFIX}_{name} {help_text}")
+    lines.append(f"# HELP {_PREFIX}_{name} {escape_help(help_text)}")
     lines.append(f"# TYPE {_PREFIX}_{name} {kind}")
 
 
@@ -245,6 +263,30 @@ def service_to_prometheus(stats) -> str:
         "Orphaned trace shared-memory segments swept at scheduler start.",
     )
     _sample(lines, "service_shm_swept_total", getattr(stats, "shm_swept", 0))
+
+    _metric(
+        lines,
+        "cluster_workers_connected",
+        "gauge",
+        "Live remote workers registered with the cluster coordinator.",
+    )
+    _sample(
+        lines, "cluster_workers_connected", getattr(stats, "workers_connected", 0)
+    )
+    _metric(
+        lines,
+        "cluster_leases_active",
+        "gauge",
+        "Cells currently leased to remote workers.",
+    )
+    _sample(lines, "cluster_leases_active", getattr(stats, "leases_active", 0))
+    _metric(
+        lines,
+        "cluster_redispatches_total",
+        "counter",
+        "Leases lost to worker death or hang and dispatched again.",
+    )
+    _sample(lines, "cluster_redispatches_total", getattr(stats, "redispatches", 0))
 
     _metric(
         lines,

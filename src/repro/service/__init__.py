@@ -13,9 +13,26 @@ production failure modes: a write-ahead :class:`BatchJournal` plus
 :meth:`BatchScheduler.recover` for crash-safe resumption, an
 :class:`AdmissionController` and per-scheme :class:`CircuitBreaker` for
 overload, and a worker heartbeat watchdog for silent hangs.
+
+Execution itself is pluggable: the :class:`Executor` protocol
+(:mod:`~repro.service.executor`) lets the scheduler drive either the
+local supervised pool (:class:`LocalPoolExecutor`, bit-identical to the
+pre-protocol behaviour) or a multi-node worker fleet
+(:class:`repro.cluster.ClusterExecutor`), selected with
+``BatchScheduler(executor="local"|"cluster")``.  All front-ends — JSONL
+stdio, HTTP, and the cluster TCP protocol — share the versioned message
+schema and error taxonomy in :mod:`~repro.service.wire`.
 """
 
 from repro.service.aio import AsyncClient
+from repro.service.executor import (
+    Executor,
+    ExecutorConfig,
+    ExecutorError,
+    ExecutorStats,
+    LocalPoolExecutor,
+    make_executor,
+)
 from repro.service.durability import (
     AdmissionController,
     AdmissionRejected,
@@ -36,6 +53,16 @@ from repro.service.scheduler import (
     run_batch,
 )
 from repro.service.serve import BatchHTTPServer, serve_http, serve_jsonl
+from repro.service.wire import (
+    PROTOCOL_VERSION,
+    Request,
+    ServiceError,
+    WireError,
+    classify_error,
+    error_record,
+    parse_request,
+    result_record,
+)
 
 __all__ = [
     "AdmissionController",
@@ -47,13 +74,27 @@ __all__ = [
     "BreakerOpen",
     "CircuitBreaker",
     "DeadlineExceeded",
+    "Executor",
+    "ExecutorConfig",
+    "ExecutorError",
+    "ExecutorStats",
     "JobFailed",
     "JournalError",
     "JournalReplay",
+    "LocalPoolExecutor",
+    "PROTOCOL_VERSION",
+    "Request",
     "SchedulerClosed",
+    "ServiceError",
     "ServiceStats",
+    "WireError",
     "WorkerWatchdog",
+    "classify_error",
+    "error_record",
+    "make_executor",
+    "parse_request",
     "replay_journal",
+    "result_record",
     "run_batch",
     "serve_http",
     "serve_jsonl",

@@ -49,13 +49,15 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from repro.api.spec import RunSpec
-from repro.experiments.faults import FaultPlan, fault_plan_from_env
+from repro.experiments.faults import fault_plan_from_env
 from repro.experiments.parallel import ResultCache
 from repro.experiments.runner import simulate_spec
-from repro.experiments.supervision import (
-    RunReport,
-    SupervisionError,
-    Supervisor,
+from repro.experiments.supervision import RunReport, SupervisionError
+from repro.service.executor import (
+    _UNSET,
+    ExecutorConfig,
+    make_executor,
+    warn_legacy,
 )
 from repro.service.durability import (
     AdmissionController,
@@ -122,6 +124,12 @@ class ServiceStats:
     cache_quarantined: int = 0
     cache_tmp_swept: int = 0
     shm_swept: int = 0
+    #: Execution backend kind (``local`` or ``cluster``) and the
+    #: cluster gauges — zero under the local pool.
+    executor: str = "local"
+    workers_connected: int = 0
+    leases_active: int = 0
+    redispatches: int = 0
 
     def to_prometheus(self) -> str:
         from repro.obs.metrics import service_to_prometheus
@@ -228,24 +236,40 @@ class BatchScheduler:
         cache_dir: str | os.PathLike | None = None,
         timeout: Optional[float] = None,
         retries: int = 2,
-        backoff: float = 0.25,
+        backoff=_UNSET,
         report_path: str | os.PathLike | None = None,
         metrics_path: str | os.PathLike | None = None,
         journal_dir: str | os.PathLike | None = None,
         journal: bool = True,
-        fault_plan: Optional[FaultPlan] = None,
-        hang_grace: Optional[float] = None,
+        fault_plan=_UNSET,
+        hang_grace=_UNSET,
         max_queue_depth: Optional[int] = None,
         max_bytes: Optional[int] = None,
         shed_policy: str = "reject",
         breaker_threshold: Optional[int] = None,
         breaker_reset: float = 30.0,
         start: bool = True,
+        executor="local",
+        executor_options: Optional[dict] = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
         self.retries = retries
-        self.backoff = backoff
+        # Legacy execution-policy kwargs (pre-Executor API): honoured,
+        # but deprecated in favour of ``executor_options`` — the same
+        # once-per-process warning policy as the runner's legacy shims.
+        options = dict(executor_options or {})
+        for name, value in (
+            ("backoff", backoff),
+            ("fault_plan", fault_plan),
+            ("hang_grace", hang_grace),
+        ):
+            if value is not _UNSET:
+                warn_legacy(
+                    f"BatchScheduler({name}=...)",
+                    f"pass executor_options={{'{name}': ...}} instead",
+                )
+                options.setdefault(name, value)
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         if cache_dir is not None and env_enabled():
             # Share one disk root with the result cache: trace buffers
@@ -267,10 +291,18 @@ class BatchScheduler:
             BatchJournal(journal_dir) if journal and journal_dir is not None else None
         )
         self._journal_closed = False
-        if fault_plan is None:
-            fault_plan = fault_plan_from_env()
-        self.fault_plan = fault_plan
-        self.hang_grace = hang_grace
+        plan = options.pop("fault_plan", None)
+        if plan is None:
+            plan = fault_plan_from_env()
+        config = ExecutorConfig(
+            jobs=self.jobs,
+            timeout=timeout,
+            retries=retries,
+            backoff=options.pop("backoff", 0.25),
+            hang_grace=options.pop("hang_grace", None),
+            fault_plan=plan,
+        )
+        self.executor = make_executor(executor, config, **options)
         self.admission = (
             AdmissionController(max_queue_depth, max_bytes, shed_policy)
             if max_queue_depth is not None or max_bytes is not None
@@ -283,7 +315,21 @@ class BatchScheduler:
         )
         #: Cumulative report across every batch this scheduler drains.
         self.report = RunReport(
-            config={"jobs": self.jobs, "timeout": timeout, "retries": retries}
+            config={
+                "jobs": self.jobs,
+                "timeout": timeout,
+                "retries": retries,
+                "executor": self.executor.kind,
+            }
+        )
+        self.executor.bind(
+            worker=_run_spec,
+            validate=lambda result: isinstance(result, SystemResult),
+            on_result=lambda spec, result: self._resolve(
+                spec, result, simulated=True
+            ),
+            report=self.report,
+            report_path=self.report_path,
         )
 
         self._lock = threading.Lock()
@@ -295,7 +341,6 @@ class BatchScheduler:
         self._seq = itertools.count()
         self._closing = False
         self._abort = False
-        self._current: Optional[Supervisor] = None
         self._batch_started: dict[RunSpec, float] = {}
 
         self.submitted = 0
@@ -312,6 +357,21 @@ class BatchScheduler:
         self._thread: Optional[threading.Thread] = None
         if start:
             self.start()
+
+    # Legacy attribute views: execution policy now lives on the
+    # executor's config, but pre-Executor callers read it off the
+    # scheduler directly.
+    @property
+    def backoff(self) -> float:
+        return self.executor.config.backoff
+
+    @property
+    def fault_plan(self):
+        return self.executor.config.fault_plan
+
+    @property
+    def hang_grace(self) -> Optional[float]:
+        return self.executor.config.hang_grace
 
     # ------------------------------------------------------------------ #
     # Submission side
@@ -522,9 +582,7 @@ class BatchScheduler:
             self._closing = True
             if not drain:
                 self._abort = True
-                current = self._current
-                if current is not None:
-                    current.request_stop()
+                self.executor.cancel()
                 # Cancelled-by-abort specs keep their ``submitted``
                 # journal records: an aborted batch is exactly what
                 # ``--resume`` is for.
@@ -532,6 +590,7 @@ class BatchScheduler:
             self._wake.notify_all()
         if self._thread is not None:
             self._thread.join(timeout)
+        self.executor.close()
         if self._journal is not None and not self._journal_closed:
             self._journal_closed = True
             # A drained close replays to an empty work set, so compaction
@@ -552,6 +611,7 @@ class BatchScheduler:
     def stats(self) -> ServiceStats:
         from repro.obs.metrics import latency_quantiles
 
+        xstats = self.executor.stats()
         with self._lock:
             queued = sum(1 for e in self._entries.values() if e.state == "queued")
             inflight = sum(1 for e in self._entries.values() if e.state == "inflight")
@@ -578,6 +638,10 @@ class BatchScheduler:
                 cache_quarantined=self.cache.quarantined if self.cache else 0,
                 cache_tmp_swept=self.cache.tmp_swept if self.cache else 0,
                 shm_swept=self.shm_swept,
+                executor=xstats.kind,
+                workers_connected=xstats.workers_connected,
+                leases_active=xstats.leases_active,
+                redispatches=xstats.redispatches,
             )
 
     # ------------------------------------------------------------------ #
@@ -672,8 +736,12 @@ class BatchScheduler:
 
         # Materialize each distinct workload's record streams once before
         # the fan-out; specs differing only in scheme or cache size share
-        # buffers (content digests dedup them), and with jobs > 1 workers
-        # attach the parent's shared-memory copies instead of generating.
+        # buffers (content digests dedup them), and with jobs > 1 local
+        # workers attach the parent's shared-memory copies instead of
+        # generating.  Executors that cross a host boundary opt out
+        # (``wants_shared_traces``) — their workers regenerate traces
+        # locally, bit-identical because traces are deterministic
+        # functions of the spec.
         trace_map: dict[str, str] = {}
         trace_cache = get_trace_cache() if env_enabled() else None
         if trace_cache is not None:
@@ -687,7 +755,7 @@ class BatchScheduler:
                     make_workloads(mix, ScaleModel(scale)), seed, quota, warmup
                 )
             trace_cache.persist()
-            if self.jobs > 1:
+            if self.jobs > 1 and self.executor.wants_shared_traces:
                 trace_map = trace_cache.export_shared()
 
         def _payload(spec: RunSpec) -> dict:
@@ -705,28 +773,17 @@ class BatchScheduler:
             remaining = max(0.1, min(deadlines) - time.monotonic())
             timeout = remaining if timeout is None else min(timeout, remaining)
 
-        supervisor = Supervisor(
-            _run_spec,
-            _payload,
-            jobs=self.jobs,
-            timeout=timeout,
-            retries=self.retries,
-            backoff=self.backoff,
-            fault_plan=self.fault_plan,
-            hang_grace=self.hang_grace,
-            validate=lambda result: isinstance(result, SystemResult),
-            on_result=lambda spec, result: self._resolve(spec, result, simulated=True),
-            report=self.report,
-            report_path=self.report_path,
-        )
+        for entry in todo:
+            self.executor.submit(entry.spec, _payload(entry.spec))
         with self._lock:
-            self._current = supervisor
             if self._abort:
-                supervisor.request_stop()
+                self.executor.cancel()
         interrupted = False
         try:
-            supervisor.run([entry.spec for entry in todo])
+            self.executor.drain(timeout=timeout)
         except SupervisionError as exc:
+            # ExecutorError subclasses SupervisionError, so local and
+            # cluster retry exhaustion land here identically.
             for spec, kind in exc.failed.items():
                 self._fail(spec, JobFailed(spec, kind))
         except KeyboardInterrupt:
@@ -734,8 +791,6 @@ class BatchScheduler:
         finally:
             if trace_cache is not None:
                 trace_cache.close_shared()
-            with self._lock:
-                self._current = None
         if interrupted:
             # Cells the stopped supervisor never reached: cancel their
             # futures but keep their journal records — an interrupted

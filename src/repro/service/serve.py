@@ -18,6 +18,13 @@ process, both stdlib-only:
 Result payloads use :func:`repro.api.session.result_summary`, so the
 digest field is the same SHA-256 the golden tests pin — a client can
 verify bit-identity against a serial run without pickles.
+
+Both front-ends speak the shared schema in :mod:`repro.service.wire`:
+requests parse through :func:`~repro.service.wire.parse_request` (so a
+mismatched ``protocol_version`` is a structured error, never a
+traceback) and every failure renders through the one
+:class:`~repro.service.wire.ServiceError` taxonomy — the ``code``
+vocabulary here is identical to the cluster protocol's.
 """
 
 from __future__ import annotations
@@ -25,32 +32,19 @@ from __future__ import annotations
 import json
 import sys
 import threading
-from concurrent.futures import FIRST_COMPLETED, CancelledError, Future, wait
+from concurrent.futures import CancelledError, Future, wait
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import IO, Optional
 
-from repro.api.session import result_summary
 from repro.api.spec import RunSpec, SpecError
+from repro.service import wire
 from repro.service.durability import AdmissionRejected, BreakerOpen
 from repro.service.scheduler import BatchScheduler, SchedulerClosed
 
 
-def _parse_line(line: str, lineno: int) -> tuple[object, RunSpec, int, Optional[float]]:
-    """``(id, spec, priority, deadline)`` from one JSONL request line."""
-    obj = json.loads(line)
-    if not isinstance(obj, dict):
-        raise SpecError(f"line {lineno}: expected a JSON object, got {type(obj).__name__}")
-    if "spec" in obj:
-        spec = RunSpec.from_dict(obj["spec"])
-        priority = int(obj.get("priority", 0))
-        req_id = obj.get("id", lineno)
-        deadline = obj.get("deadline")
-    else:
-        spec = RunSpec.from_dict(obj)
-        priority, req_id, deadline = 0, lineno, None
-    if deadline is not None:
-        deadline = float(deadline)
-    return req_id, spec.validate(), priority, deadline
+def _parse_line(line: str, lineno: int) -> wire.Request:
+    """One typed :class:`~repro.service.wire.Request` from a JSONL line."""
+    return wire.parse_request(json.loads(line), default_id=lineno)
 
 
 def serve_jsonl(
@@ -84,25 +78,15 @@ def serve_jsonl(
         nonlocal failures
         try:
             result = future.result()
-        except CancelledError:
-            # CancelledError is a BaseException since Python 3.8 — a bare
-            # ``except Exception`` silently drops it and the request would
-            # never get its output line.
+        except BaseException as exc:  # noqa: BLE001 - rendered per request
+            # BaseException on purpose: CancelledError stopped being an
+            # Exception in Python 3.8, and a silently dropped completion
+            # means a request line that never gets its output line.  The
+            # taxonomy maps it to ``code: cancelled``.
             failures += 1
-            emit(
-                {
-                    "id": req_id,
-                    "spec": spec.name,
-                    "ok": False,
-                    "cancelled": True,
-                    "error": "cancelled: scheduler shut down before this spec ran",
-                }
-            )
-        except Exception as exc:  # noqa: BLE001 - reported per request
-            failures += 1
-            emit({"id": req_id, "spec": spec.name, "ok": False, "error": str(exc)})
+            emit(wire.error_record(exc, id=req_id, spec=spec.name))
         else:
-            emit({"id": req_id, "ok": True, **result_summary(result)})
+            emit(wire.result_record(result, id=req_id))
 
     pending: list[Future] = []
     for lineno, line in enumerate(stdin, start=1):
@@ -110,31 +94,31 @@ def serve_jsonl(
         if not line or line.startswith("#"):
             continue
         try:
-            req_id, spec, priority, deadline = _parse_line(line, lineno)
+            request = _parse_line(line, lineno)
         except (ValueError, SpecError) as exc:
+            # Covers malformed JSON, bad shapes, invalid specs *and*
+            # protocol_version mismatches (WireError is a ValueError) —
+            # each reported with its taxonomy code, never a traceback.
             bad_input += 1
-            print(f"repro serve: skipping line {lineno}: {exc}", file=stderr)
+            code = wire.classify_error(exc).code
+            print(
+                f"repro serve: skipping line {lineno} ({code}): {exc}", file=stderr
+            )
             continue
+        req_id, spec = request.id, request.spec
         try:
-            future = scheduler.submit(spec, priority=priority, deadline=deadline)
+            future = scheduler.submit(
+                spec, priority=request.priority, deadline=request.deadline
+            )
         except (AdmissionRejected, BreakerOpen) as exc:
             # Shed per request, never per stream: one refused submission
             # must not abort the remaining lines.
             failures += 1
-            record = {
-                "id": req_id,
-                "spec": spec.name,
-                "ok": False,
-                "error": str(exc),
-                "retry_after": exc.retry_after,
-            }
-            if isinstance(exc, AdmissionRejected):
-                record["shed"] = True
-            emit(record)
+            emit(wire.error_record(exc, id=req_id, spec=spec.name))
             continue
         except SchedulerClosed as exc:
             failures += 1
-            emit({"id": req_id, "spec": spec.name, "ok": False, "error": str(exc)})
+            emit(wire.error_record(exc, id=req_id, spec=spec.name))
             break
         future.add_done_callback(
             lambda fut, req_id=req_id, spec=spec: on_done(req_id, spec, fut)
@@ -203,59 +187,58 @@ class _Handler(BaseHTTPRequestHandler):
             if isinstance(payload, dict):
                 payload = [payload]
             if not isinstance(payload, list):
-                raise SpecError("expected a JSON array of spec objects")
-            specs = [RunSpec.from_dict(item).validate() for item in payload]
+                raise wire.WireError("expected a JSON array of spec objects")
+            requests = [
+                wire.parse_request(item, default_id=index)
+                for index, item in enumerate(payload)
+            ]
             deadline_header = self.headers.get("X-Repro-Deadline")
             deadline = float(deadline_header) if deadline_header else None
         except (ValueError, SpecError, TypeError) as exc:
-            self._send_json(400, {"ok": False, "error": str(exc)})
+            # One structured 400 for everything malformed — bad JSON,
+            # invalid specs, mismatched protocol_version — with its
+            # taxonomy code, never a traceback.
+            self._send_json(400, wire.error_record(exc))
             return
         results: list = []
         admitted: list = []  # (slot, spec, future)
         retry_after = 0.0
         shed = closed = False
-        for spec in specs:
+        for request in requests:
+            spec = request.spec
             try:
-                future = self.scheduler.submit(spec, deadline=deadline)
+                future = self.scheduler.submit(
+                    spec,
+                    priority=request.priority,
+                    deadline=request.deadline if request.deadline is not None else deadline,
+                )
             except AdmissionRejected as exc:
                 shed = True
                 retry_after = max(retry_after, exc.retry_after)
-                results.append(
-                    {"ok": False, "spec": spec.name, "shed": True, "error": str(exc)}
-                )
+                results.append(wire.error_record(exc, spec=spec.name))
             except BreakerOpen as exc:
                 retry_after = max(retry_after, exc.retry_after)
                 results.append(
-                    {
-                        "ok": False,
-                        "spec": spec.name,
-                        "breaker": exc.scheme,
-                        "error": str(exc),
-                    }
+                    wire.error_record(exc, spec=spec.name, breaker=exc.scheme)
                 )
             except SchedulerClosed as exc:
                 closed = True
-                results.append({"ok": False, "spec": spec.name, "error": str(exc)})
+                results.append(wire.error_record(exc, spec=spec.name))
             else:
                 results.append(None)  # filled in below, in submission order
                 admitted.append((len(results) - 1, spec, future))
         cancelled = False
         for slot, spec, future in admitted:
             try:
-                results[slot] = {"ok": True, **result_summary(future.result())}
-            except CancelledError:
+                results[slot] = wire.result_record(future.result())
+            except CancelledError as exc:
                 # ``close(drain=False)`` raced this request; without an
                 # explicit handler (CancelledError is a BaseException) the
                 # client would hang on a response that never comes.
                 cancelled = True
-                results[slot] = {
-                    "ok": False,
-                    "spec": spec.name,
-                    "cancelled": True,
-                    "error": "cancelled: scheduler shut down before this spec ran",
-                }
+                results[slot] = wire.error_record(exc, spec=spec.name)
             except Exception as exc:  # noqa: BLE001 - reported per spec
-                results[slot] = {"ok": False, "spec": spec.name, "error": str(exc)}
+                results[slot] = wire.error_record(exc, spec=spec.name)
         if closed or cancelled:
             # Structured partial status instead of a hung or reset socket.
             self._send_json(

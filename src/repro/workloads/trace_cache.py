@@ -427,7 +427,9 @@ class TraceCache:
         if self.cache_dir is None:
             return 0
         written = 0
-        for entry in self._memo.values():
+        # Snapshot: another scheduler thread sharing the process-global
+        # cache may be materializing (inserting) concurrently.
+        for entry in list(self._memo.values()):
             if len(entry.records) <= entry.persisted_len and entry.persisted_len > 0:
                 continue
             if not entry.records:
@@ -454,7 +456,7 @@ class TraceCache:
         from multiprocessing import shared_memory
 
         mapping: dict[str, str] = {}
-        for digest, entry in self._memo.items():
+        for digest, entry in list(self._memo.items()):
             if not entry.records:
                 continue
             payload = entry.to_bytes()

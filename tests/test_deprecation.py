@@ -68,3 +68,78 @@ def test_legacy_and_spec_paths_are_bit_identical():
     with pytest.warns(DeprecationWarning):
         legacy = simulate_mix((471, 444), "baseline", quota=1_000, warmup=500)
     assert result_digest(legacy) == result_digest(simulate_mix(SPEC))
+
+
+# --------------------------------------------------------------------- #
+# BatchScheduler legacy executor kwargs (PR 9 Executor protocol)
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def _reset_executor_latch():
+    """Each test sees the executor shims as if the process just started."""
+    from repro.service import executor as executor_mod
+
+    saved = set(executor_mod._DEPRECATION_WARNED)
+    executor_mod._DEPRECATION_WARNED.clear()
+    yield
+    executor_mod._DEPRECATION_WARNED.clear()
+    executor_mod._DEPRECATION_WARNED.update(saved)
+
+
+def test_scheduler_legacy_hang_grace_warns_and_still_works(_reset_executor_latch):
+    from repro.service import BatchScheduler
+
+    with pytest.warns(DeprecationWarning, match="executor_options"):
+        sched = BatchScheduler(start=False, hang_grace=2.5)
+    assert sched.executor.config.hang_grace == 2.5
+    sched.close(drain=False)
+
+
+def test_scheduler_legacy_backoff_warns_once_per_process(_reset_executor_latch):
+    from repro.service import BatchScheduler
+
+    with pytest.warns(DeprecationWarning, match="backoff"):
+        first = BatchScheduler(start=False, backoff=0.5)
+    first.close(drain=False)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        second = BatchScheduler(start=False, backoff=0.5)
+    second.close(drain=False)
+    assert not caught, "second legacy construction warned again"
+    assert second.executor.config.backoff == 0.5
+
+
+def test_scheduler_executor_options_path_is_warning_clean(_reset_executor_latch):
+    from repro.experiments.faults import FaultPlan
+    from repro.service import BatchScheduler
+
+    plan = FaultPlan.from_spec("crash=1", seed=3)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("error", DeprecationWarning)
+        sched = BatchScheduler(
+            start=False,
+            executor_options={
+                "hang_grace": 1.5,
+                "backoff": 0.1,
+                "fault_plan": plan,
+            },
+        )
+    assert not caught
+    assert sched.executor.config.hang_grace == 1.5
+    assert sched.executor.config.backoff == 0.1
+    assert sched.executor.config.fault_plan is plan
+    sched.close(drain=False)
+
+
+def test_scheduler_back_compat_properties_read_executor_config(_reset_executor_latch):
+    from repro.service import BatchScheduler
+
+    sched = BatchScheduler(
+        start=False, executor_options={"hang_grace": 4.0, "backoff": 0.3}
+    )
+    # Pre-Executor callers read these attributes off the scheduler.
+    assert sched.hang_grace == 4.0
+    assert sched.backoff == 0.3
+    assert sched.fault_plan is None
+    sched.close(drain=False)

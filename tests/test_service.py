@@ -241,6 +241,50 @@ def test_serve_jsonl_reports_bad_lines_without_aborting():
     assert len(out.getvalue().splitlines()) == 1  # the good line still ran
 
 
+def test_serve_jsonl_version_mismatch_is_structured():
+    lines = "\n".join(
+        [
+            json.dumps({"spec": spec().to_dict(), "protocol_version": 99}),
+            json.dumps({"spec": spec().to_dict(), "protocol_version": 1, "id": "ok"}),
+        ]
+    )
+    out, err = io.StringIO(), io.StringIO()
+    with BatchScheduler(jobs=1) as sched:
+        code = serve_jsonl(sched, stdin=io.StringIO(lines + "\n"), stdout=out, stderr=err)
+    assert code == 1
+    # The mismatch is reported with its taxonomy code, not a traceback,
+    # and does not abort the stream: the v1 line still runs.
+    assert "protocol_mismatch" in err.getvalue()
+    rows = [json.loads(line) for line in out.getvalue().splitlines()]
+    assert [row["id"] for row in rows] == ["ok"]
+    assert rows[0]["ok"] is True
+
+
+def test_http_batch_version_mismatch_is_structured_400():
+    import urllib.error
+
+    with BatchScheduler(jobs=1) as sched:
+        server = BatchHTTPServer(("127.0.0.1", 0), sched)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            port = server.server_address[1]
+            body = json.dumps(
+                [{"spec": spec().to_dict(), "protocol_version": 99}]
+            ).encode()
+            req = urllib.request.Request(f"http://127.0.0.1:{port}/batch", data=body)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(req, timeout=30)
+            assert excinfo.value.code == 400
+            payload = json.load(excinfo.value)
+            assert payload["ok"] is False
+            assert payload["code"] == "protocol_mismatch"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+
 def test_http_batch_metrics_and_health_endpoints():
     with BatchScheduler(jobs=1) as sched:
         server = BatchHTTPServer(("127.0.0.1", 0), sched)

@@ -314,7 +314,11 @@ def test_breaker_failed_probe_reopens():
 def test_scheduler_breaker_trips_on_job_failure():
     plan = FaultPlan({spec(): Fault("crash")})
     sched = BatchScheduler(
-        jobs=1, retries=0, fault_plan=plan, breaker_threshold=1, breaker_reset=600.0
+        jobs=1,
+        retries=0,
+        executor_options={"fault_plan": plan},
+        breaker_threshold=1,
+        breaker_reset=600.0,
     )
     future = sched.submit(spec())
     with pytest.raises(Exception, match="failed after retries"):
@@ -368,7 +372,10 @@ def test_watchdog_kills_stalled_worker_and_batch_completes(tmp_path):
     victim = spec()
     plan = FaultPlan({victim: Fault("stall_heartbeat", seconds=120.0)})
     sched = BatchScheduler(
-        jobs=2, cache_dir=tmp_path, fault_plan=plan, hang_grace=0.5, retries=2
+        jobs=2,
+        cache_dir=tmp_path,
+        executor_options={"fault_plan": plan, "hang_grace": 0.5},
+        retries=2,
     )
     futures = [sched.submit(s) for s in four_specs()]
     results = [f.result(timeout=300) for f in futures]
@@ -391,7 +398,11 @@ def test_chaos_plan_yields_bit_identical_digests(tmp_path):
         "crash=1,hang=1,corrupt=1,crash_process=1", seed=11, hang_seconds=0.1
     )
     outcomes, stats, _ = run_batch(
-        specs, jobs=2, cache_dir=tmp_path / "chaos", fault_plan=plan, retries=2
+        specs,
+        jobs=2,
+        cache_dir=tmp_path / "chaos",
+        executor_options={"fault_plan": plan},
+        retries=2,
     )
     clean, _, _ = run_batch(specs, jobs=1, cache_dir=tmp_path / "clean")
     for s, faulty, ok in zip(specs, outcomes, clean):
