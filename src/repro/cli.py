@@ -47,6 +47,14 @@ Commands
 
         printf '{"mix": "471+444"}\n' | python -m repro.cli serve
 
+``spans``
+    Summarise a span-trace JSONL file written by ``batch``/``serve``
+    ``--spans PATH``: per-phase latency breakdown plus the top-N
+    slowest cells, or (``--trace ID``) one trace rendered as a tree::
+
+        python -m repro.cli spans spans.jsonl --top 5
+        python -m repro.cli spans spans.jsonl --trace 0f3a9c2d11aa55ee
+
 ``verify``
     The verification harness (:mod:`repro.verify`).  Without flags,
     simulate the spec once with the runtime invariant checker attached
@@ -442,6 +450,7 @@ def _scheduler_flags(args: argparse.Namespace) -> dict:
         breaker_reset=args.breaker_reset,
         executor=executor,
         executor_options=executor_options,
+        spans_path=getattr(args, "spans", None),
     )
 
 
@@ -605,6 +614,30 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"worker: cannot reach coordinator {args.connect}: {exc}", file=sys.stderr)
         return 1
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    from repro.obs.spans import format_summary, format_trace_tree, load_spans
+
+    try:
+        records = load_spans(args.path)
+    except OSError as exc:
+        raise _spec_error(f"cannot read {args.path!r}: {exc}") from None
+    except ValueError as exc:
+        raise _spec_error(str(exc)) from None
+    if not records:
+        print("no spans recorded", file=sys.stderr)
+        return 1
+    if args.trace is not None:
+        tree = format_trace_tree(records, args.trace)
+        if not tree:
+            raise _spec_error(
+                f"no spans with trace_id {args.trace!r} in {args.path}"
+            )
+        print(tree)
+        return 0
+    print(format_summary(records, top=args.top))
+    return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -796,6 +829,17 @@ def build_parser() -> argparse.ArgumentParser:
             "on stderr (default: 127.0.0.1:0)",
         )
 
+    def add_spans_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--spans",
+            default=None,
+            metavar="PATH",
+            help="record an end-to-end span trace of the batch (queue "
+            "wait, cache lookups, execution attempts, remote leases) "
+            "and write it as JSONL here; inspect with 'repro spans PATH' "
+            "(default: tracing off, zero overhead)",
+        )
+
     def add_trace_cache_flag(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--trace-cache",
@@ -871,6 +915,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_parallel_flags(batch_p)
     add_durability_flags(batch_p)
     add_executor_flags(batch_p)
+    add_spans_flag(batch_p)
     add_trace_cache_flag(batch_p)
     add_sanitize_flag(batch_p)
     batch_p.set_defaults(fn=_cmd_batch)
@@ -893,6 +938,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_parallel_flags(serve_p)
     add_durability_flags(serve_p)
     add_executor_flags(serve_p)
+    add_spans_flag(serve_p)
     add_trace_cache_flag(serve_p)
     add_sanitize_flag(serve_p)
     serve_p.set_defaults(fn=_cmd_serve)
@@ -970,6 +1016,30 @@ def build_parser() -> argparse.ArgumentParser:
     add_trace_cache_flag(trace_p)
     add_sanitize_flag(trace_p)
     trace_p.set_defaults(fn=_cmd_trace)
+
+    spans_p = sub.add_parser(
+        "spans",
+        help="summarise a span-trace JSONL written by batch/serve --spans",
+    )
+    spans_p.add_argument(
+        "path",
+        help="span JSONL file written by 'repro batch --spans PATH' or "
+        "'repro serve --spans PATH'",
+    )
+    spans_p.add_argument(
+        "--top",
+        type=_positive_int("--top"),
+        default=10,
+        help="slowest cells to list in the summary (default: 10)",
+    )
+    spans_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE_ID",
+        help="render this one trace as an indented span tree instead "
+        "of the summary",
+    )
+    spans_p.set_defaults(fn=_cmd_spans)
 
     verify_p = sub.add_parser(
         "verify",

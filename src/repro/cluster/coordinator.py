@@ -43,7 +43,7 @@ import time
 from collections import deque
 from typing import Optional
 
-from repro.experiments.supervision import RunReport
+from repro.experiments.supervision import RunReport, cell_name
 from repro.service import wire
 from repro.service.executor import (
     Executor,
@@ -114,13 +114,23 @@ class RemoteWorker:
 class _Lease:
     """One dispatched cell: who is running it and until when."""
 
-    __slots__ = ("cell", "worker", "deadline", "dispatched")
+    __slots__ = ("cell", "worker", "deadline", "dispatched", "span", "attempt_span")
 
-    def __init__(self, cell, worker: RemoteWorker, deadline, dispatched) -> None:
+    def __init__(
+        self,
+        cell,
+        worker: RemoteWorker,
+        deadline,
+        dispatched,
+        span=None,
+        attempt_span=None,
+    ) -> None:
         self.cell = cell
         self.worker = worker
         self.deadline = deadline
         self.dispatched = dispatched
+        self.span = span  # live "lease" span (tracing on only)
+        self.attempt_span = attempt_span  # its parent "attempt" span
 
 
 class _Drain:
@@ -424,11 +434,31 @@ class ClusterExecutor(Executor):
                 if fault is not None:
                     payload["fault"] = fault.as_payload()
             lease_id = f"L{next(self._lease_seq)}"
+            attempt_span = lease_span = None
+            if self._tracer is not None:
+                # One attempt span per charge — a redispatch after a
+                # worker loss creates a fresh one under the same cell
+                # context, so both attempts show in the cell's trace.
+                attempt_span = self._tracer.begin(
+                    "attempt",
+                    state.buffer[cell].get("trace"),
+                    cell=cell_name(cell),
+                    attempt=attempt,
+                    worker=target.name,
+                    executor="cluster",
+                )
+                lease_span = self._tracer.begin(
+                    "lease", attempt_span, lease=lease_id, worker=target.name
+                )
+                payload["trace"] = lease_span.context()
             try:
                 target.send(wire.make_frame("lease", lease=lease_id, payload=payload))
             except OSError:
                 # Connection died under the send: refund the cell and
                 # expel the worker (its other leases requeue uncharged).
+                if self._tracer is not None:
+                    self._tracer.finish(lease_span, status="send-failed")
+                    self._tracer.finish(attempt_span, status="send-failed")
                 state.requeue_uncharged(cell)
                 self._expel(target, state, kind=None)
                 continue
@@ -436,7 +466,9 @@ class ClusterExecutor(Executor):
                 0.0, now - state.enqueued.pop(cell, now)
             )
             deadline = None if effective is None else now + effective
-            state.leases[lease_id] = _Lease(cell, target, deadline, now)
+            state.leases[lease_id] = _Lease(
+                cell, target, deadline, now, lease_span, attempt_span
+            )
             target.leases.add(lease_id)
 
     def _pump_events(self, state: _Drain) -> None:
@@ -459,20 +491,40 @@ class ClusterExecutor(Executor):
             except queue.Empty:
                 return
 
+    def _adopt_spans(self, frame: dict) -> None:
+        """Ingest worker-side execute spans riding a result/error frame."""
+        if self._tracer is None:
+            return
+        for record in frame.get("spans") or []:
+            if isinstance(record, dict):
+                self._tracer.adopt(record)
+
+    def _finish_lease_spans(self, lease: _Lease, status: str, **attrs) -> None:
+        if self._tracer is None:
+            return
+        if lease.span is not None:
+            self._tracer.finish(lease.span, status=status, **attrs)
+        if lease.attempt_span is not None:
+            self._tracer.finish(lease.attempt_span, status=status)
+
     def _handle_result(self, state: _Drain, worker: RemoteWorker, frame: dict) -> None:
         lease = state.leases.pop(frame.get("lease"), None)
         if lease is None:
             return  # stale: redispatched already, or from a prior drain
         worker.leases.discard(frame.get("lease"))
+        self._adopt_spans(frame)
         try:
             result = wire.decode_result(frame["result"])
         except (KeyError, wire.WireError):
+            self._finish_lease_spans(lease, "undecodable-result")
             state.fail_or_requeue(lease.cell, "undecodable-result")
             return
         duration = time.monotonic() - lease.dispatched
         if self._validate is not None and not self._validate(result):
+            self._finish_lease_spans(lease, "invalid-result")
             state.fail_or_requeue(lease.cell, "invalid-result")
             return
+        self._finish_lease_spans(lease, "ok")
         state.results[lease.cell] = result
         state.report.mark_ok(lease.cell, duration)
         state.report.record(lease.cell).worker = worker.name
@@ -484,6 +536,8 @@ class ClusterExecutor(Executor):
         if lease is None:
             return
         worker.leases.discard(frame.get("lease"))
+        self._adopt_spans(frame)
+        self._finish_lease_spans(lease, "error")
         state.fail_or_requeue(lease.cell, f"error: {frame.get('error', 'unknown')}")
 
     def _check_stale(self, state: _Drain) -> None:
@@ -516,6 +570,7 @@ class ClusterExecutor(Executor):
             lease.worker.leases.discard(lease_id)
             state.report.timeouts += 1
             budget = now - lease.dispatched
+            self._finish_lease_spans(lease, "timeout")
             state.fail_or_requeue(lease.cell, f"timeout after {budget:.1f}s")
             self._expel(lease.worker, state, kind=None)
 
@@ -536,6 +591,11 @@ class ClusterExecutor(Executor):
             worker.leases.discard(lease_id)
             with self._lock:
                 self._redispatches += 1
+            # The respan site: this attempt's spans end with the loss
+            # status; the redispatch creates a fresh attempt span under
+            # the same cell context, so a kill-mid-lease run shows both
+            # attempts stitched into one cell trace.
+            self._finish_lease_spans(lease, kind or "requeued")
             if kind is None:
                 state.requeue_uncharged(lease.cell)
             else:

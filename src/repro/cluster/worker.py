@@ -203,11 +203,18 @@ class WorkerClient:
 
         lease = frame.get("lease")
         payload = dict(frame.get("payload") or {})
+        # The coordinator's lease-span context, when it traces.  Workers
+        # run no tracer of their own: the execute span goes home as a
+        # completed record inside the result/error frame and the
+        # coordinator adopts it into its trace.  Popped so the spec
+        # payload stays exactly what the local pool would see.
+        trace_ctx = payload.pop("trace", None)
         if self.in_process_faults and "fault" in payload:
             payload["fault_in_process"] = True
         with self._busy_lock:
             self._busy += 1
         started = time.monotonic()
+        wall = time.time()
         try:
             _, result = _run_spec(payload)
         except BaseException as exc:  # noqa: BLE001 - streamed, not raised
@@ -215,7 +222,12 @@ class WorkerClient:
             try:
                 self._send(
                     wire.make_frame(
-                        "error", lease=lease, error=f"{type(exc).__name__}: {exc}"
+                        "error",
+                        lease=lease,
+                        error=f"{type(exc).__name__}: {exc}",
+                        **self._span_records(
+                            trace_ctx, wall, started, status="error"
+                        ),
                     )
                 )
             except OSError:
@@ -231,11 +243,31 @@ class WorkerClient:
                     lease=lease,
                     result=wire.encode_result(result),
                     duration=round(time.monotonic() - started, 6),
+                    **self._span_records(trace_ctx, wall, started, status="ok"),
                 )
             )
             self.completed += 1
         except OSError:
             pass
+
+    def _span_records(self, trace_ctx, wall, started, *, status) -> dict:
+        """``{"spans": [...]}`` for an outcome frame, or ``{}`` untraced."""
+        if trace_ctx is None:
+            return {}
+        from repro.obs.spans import completed_span
+
+        return {
+            "spans": [
+                completed_span(
+                    trace_ctx,
+                    "execute",
+                    wall=wall,
+                    duration=time.monotonic() - started,
+                    status=status,
+                    worker=self.name,
+                )
+            ]
+        }
 
 
 def run_worker(

@@ -44,9 +44,12 @@ def _warn_legacy(name: str) -> None:
     if name in _DEPRECATION_WARNED:
         return
     _DEPRECATION_WARNED.add(name)
+    from repro.service.executor import REMOVAL_VERSION
+
     warnings.warn(
         f"calling {name}() with (codes, scheme, ...) keyword arguments is "
-        f"deprecated; build a repro.api.RunSpec once and pass it instead "
+        f"deprecated and will be removed in {REMOVAL_VERSION}; build a "
+        f"repro.api.RunSpec once and pass it instead "
         f"(e.g. {name}(RunSpec(mix=(471, 444), scheme='avgcc')))",
         DeprecationWarning,
         stacklevel=3,

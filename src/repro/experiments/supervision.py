@@ -99,6 +99,9 @@ class CellRecord:
     #: name under the cluster executor.
     worker: str = ""
     errors: list = field(default_factory=list)
+    #: Per-phase seconds from the span tracer (queue/cache/attempt/
+    #: lease/execute...), folded in when tracing is on; empty otherwise.
+    phases: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         codes, scheme = cell_parts(self.cell)
@@ -112,6 +115,7 @@ class CellRecord:
             "queue_seconds": round(self.queue_seconds, 6),
             "worker": self.worker,
             "errors": list(self.errors),
+            "phases": {name: round(value, 6) for name, value in self.phases.items()},
         }
 
 
@@ -124,7 +128,9 @@ class RunReport:
     says exactly how much work a re-invocation actually redid.
     """
 
-    VERSION = 3
+    #: v4: CellRecord gains ``phases`` (per-phase seconds from the span
+    #: tracer); absent/empty when tracing is off.
+    VERSION = 4
 
     def __init__(self, config: Optional[dict] = None) -> None:
         self.config = dict(config or {})

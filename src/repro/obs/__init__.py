@@ -11,7 +11,12 @@ Three layers, one package:
 * **Pipeline profiling** (:mod:`repro.obs.metrics`) — Prometheus-style
   text export of the experiment stack's
   :class:`~repro.experiments.supervision.RunReport` (per-cell timings,
-  queue latency, worker utilization, result-cache hit rates).
+  queue latency, worker utilization, result-cache hit rates);
+* **Span tracing** (:mod:`repro.obs.spans`) — end-to-end request
+  tracing for the batch/cluster tier: every submitted cell gets a span
+  tree (queue wait, cache lookup, execution attempts, remote leases)
+  whose context rides the wire so remote workers' execute spans stitch
+  into the coordinator's trace.
 
 The :class:`~repro.obs.observer.Observer` contract (and its
 zero-overhead guarantee) is documented in :mod:`repro.obs.observer` and
@@ -22,6 +27,7 @@ from repro.obs.events import EventTracer, TraceEvent
 from repro.obs.interval import IntervalRecorder, IntervalSample
 from repro.obs.metrics import report_to_prometheus, write_prometheus
 from repro.obs.observer import CompositeObserver, Observer
+from repro.obs.spans import Span, SpanTracer
 
 __all__ = [
     "CompositeObserver",
@@ -29,6 +35,8 @@ __all__ = [
     "IntervalRecorder",
     "IntervalSample",
     "Observer",
+    "Span",
+    "SpanTracer",
     "TraceEvent",
     "report_to_prometheus",
     "write_prometheus",

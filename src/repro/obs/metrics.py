@@ -142,12 +142,25 @@ def report_to_prometheus(report, per_cell: bool = True) -> str:
 
 
 def percentile(values: list, fraction: float) -> float:
-    """Nearest-rank percentile of ``values`` (``fraction`` in [0, 1])."""
+    """Linearly interpolated percentile of ``values`` (``fraction`` in [0, 1]).
+
+    Uses the standard "linear" method (numpy's default): the requested
+    quantile sits at rank ``h = fraction * (n - 1)`` over the sorted
+    values; a non-integral rank interpolates between the two bracketing
+    order statistics.  Guarantees ``min <= result <= max``, exactness on
+    singletons and duplicate-heavy inputs, and monotonicity in
+    ``fraction``.  Empty input returns 0.0 (a summary with count 0).
+    """
     if not values:
         return 0.0
-    ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
-    return float(ordered[rank])
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    fraction = min(1.0, max(0.0, float(fraction)))
+    rank = fraction * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] + (rank - lo) * (ordered[hi] - ordered[lo])
 
 
 def latency_quantiles(samples: Iterable[float]) -> dict:
@@ -168,38 +181,41 @@ def latency_quantiles(samples: Iterable[float]) -> dict:
 def service_to_prometheus(stats) -> str:
     """Render a batch-service stats snapshot as Prometheus text.
 
-    ``stats`` is a :class:`repro.service.scheduler.ServiceStats` (duck
-    typed to keep this module stdlib-only and import-light): queue
-    depth, in-flight count, the dedup/cache/executed counters and the
+    ``stats`` is a :class:`repro.service.scheduler.ServiceStats`, read
+    through its versioned ``to_dict()`` schema (duck typed to keep this
+    module stdlib-only and import-light — any object exposing the same
+    dict shape works): queue depth, in-flight count, the
+    dedup/cache/executed counters, span counters/phase summaries and the
     per-scheme submit-to-result latency summaries.
     """
+    data = stats.to_dict() if hasattr(stats, "to_dict") else dict(vars(stats))
     lines: list = []
     _metric(lines, "service_queue_depth", "gauge", "Specs queued, not yet executing.")
-    _sample(lines, "service_queue_depth", stats.queue_depth)
+    _sample(lines, "service_queue_depth", data.get("queue_depth", 0))
     _metric(lines, "service_inflight", "gauge", "Specs currently executing.")
-    _sample(lines, "service_inflight", stats.inflight)
+    _sample(lines, "service_inflight", data.get("inflight", 0))
     _metric(lines, "service_submitted_total", "counter", "Specs submitted to the service.")
-    _sample(lines, "service_submitted_total", stats.submitted)
+    _sample(lines, "service_submitted_total", data.get("submitted", 0))
     _metric(
         lines,
         "service_dedup_hits_total",
         "counter",
         "Submissions that joined an identical pending or in-flight spec.",
     )
-    _sample(lines, "service_dedup_hits_total", stats.dedup_hits)
+    _sample(lines, "service_dedup_hits_total", data.get("dedup_hits", 0))
     _metric(
         lines,
         "service_cache_hits_total",
         "counter",
         "Submissions satisfied from memory or the disk result cache.",
     )
-    _sample(lines, "service_cache_hits_total", stats.cache_hits)
+    _sample(lines, "service_cache_hits_total", data.get("cache_hits", 0))
     _metric(lines, "service_executed_total", "counter", "Specs actually simulated.")
-    _sample(lines, "service_executed_total", stats.executed)
+    _sample(lines, "service_executed_total", data.get("executed", 0))
     _metric(lines, "service_failed_total", "counter", "Specs that exhausted retries.")
-    _sample(lines, "service_failed_total", stats.failed)
+    _sample(lines, "service_failed_total", data.get("failed", 0))
     _metric(lines, "service_cancelled_total", "counter", "Specs cancelled before execution.")
-    _sample(lines, "service_cancelled_total", stats.cancelled)
+    _sample(lines, "service_cancelled_total", data.get("cancelled", 0))
 
     _metric(
         lines,
@@ -207,35 +223,35 @@ def service_to_prometheus(stats) -> str:
         "counter",
         "Submissions shed (rejected or dropped) by admission control.",
     )
-    _sample(lines, "service_shed_total", getattr(stats, "shed", 0))
+    _sample(lines, "service_shed_total", data.get("shed", 0))
     _metric(
         lines,
         "service_recovered_total",
         "counter",
         "Specs re-enqueued from the write-ahead journal by a resume.",
     )
-    _sample(lines, "service_recovered_total", getattr(stats, "recovered", 0))
+    _sample(lines, "service_recovered_total", data.get("recovered", 0))
     _metric(
         lines,
         "watchdog_kills_total",
         "counter",
         "Hung workers SIGKILLed by the heartbeat watchdog.",
     )
-    _sample(lines, "watchdog_kills_total", getattr(stats, "watchdog_kills", 0))
+    _sample(lines, "watchdog_kills_total", data.get("watchdog_kills", 0))
     _metric(
         lines,
         "breaker_rejected_total",
         "counter",
         "Submissions refused because their scheme's breaker was open.",
     )
-    _sample(lines, "breaker_rejected_total", getattr(stats, "breaker_rejected", 0))
+    _sample(lines, "breaker_rejected_total", data.get("breaker_rejected", 0))
     _metric(
         lines,
         "breaker_state",
         "gauge",
         "Per-scheme circuit-breaker state (0=closed, 1=half-open, 2=open).",
     )
-    breaker = getattr(stats, "breaker", None) or {}
+    breaker = data.get("breaker") or {}
     for scheme in sorted(breaker):
         state = breaker[scheme]
         encoded = {"closed": 0, "half-open": 1, "open": 2}.get(state, 0)
@@ -247,7 +263,7 @@ def service_to_prometheus(stats) -> str:
         "Corrupt result-cache entries quarantined by this service.",
     )
     _sample(
-        lines, "service_cache_quarantined_total", getattr(stats, "cache_quarantined", 0)
+        lines, "service_cache_quarantined_total", data.get("cache_quarantined", 0)
     )
     _metric(
         lines,
@@ -255,14 +271,14 @@ def service_to_prometheus(stats) -> str:
         "counter",
         "Stale result-cache tmp files swept at cache open.",
     )
-    _sample(lines, "service_cache_tmp_swept_total", getattr(stats, "cache_tmp_swept", 0))
+    _sample(lines, "service_cache_tmp_swept_total", data.get("cache_tmp_swept", 0))
     _metric(
         lines,
         "service_shm_swept_total",
         "counter",
         "Orphaned trace shared-memory segments swept at scheduler start.",
     )
-    _sample(lines, "service_shm_swept_total", getattr(stats, "shm_swept", 0))
+    _sample(lines, "service_shm_swept_total", data.get("shm_swept", 0))
 
     _metric(
         lines,
@@ -271,7 +287,7 @@ def service_to_prometheus(stats) -> str:
         "Live remote workers registered with the cluster coordinator.",
     )
     _sample(
-        lines, "cluster_workers_connected", getattr(stats, "workers_connected", 0)
+        lines, "cluster_workers_connected", data.get("workers_connected", 0)
     )
     _metric(
         lines,
@@ -279,14 +295,48 @@ def service_to_prometheus(stats) -> str:
         "gauge",
         "Cells currently leased to remote workers.",
     )
-    _sample(lines, "cluster_leases_active", getattr(stats, "leases_active", 0))
+    _sample(lines, "cluster_leases_active", data.get("leases_active", 0))
     _metric(
         lines,
         "cluster_redispatches_total",
         "counter",
         "Leases lost to worker death or hang and dispatched again.",
     )
-    _sample(lines, "cluster_redispatches_total", getattr(stats, "redispatches", 0))
+    _sample(lines, "cluster_redispatches_total", data.get("redispatches", 0))
+
+    # Span families appear only when a tracer is configured: an
+    # untraced service's scrape stays byte-identical to pre-tracing
+    # releases (and dashboards don't chart all-zero series).
+    spans = data.get("spans") or {}
+    span_phases = data.get("span_phases") or {}
+    if spans:
+        _metric(
+            lines,
+            "spans_total",
+            "counter",
+            "Request-path spans recorded by the tracer, by state.",
+        )
+        for state in ("started", "finished", "adopted", "dropped"):
+            _sample(lines, "spans_total", spans.get(state, 0), state=state)
+    if span_phases:
+        _metric(
+            lines,
+            "span_seconds",
+            "summary",
+            "Request-path span durations per phase (batch/cell/queue/attempt/lease/execute).",
+        )
+        for phase in sorted(span_phases):
+            q = span_phases[phase]
+            for quantile, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+                _sample(
+                    lines,
+                    "span_seconds",
+                    q[key],
+                    phase=phase,
+                    quantile=quantile,
+                )
+            _sample(lines, "span_seconds_count", q["count"], phase=phase)
+            _sample(lines, "span_seconds_sum", q["sum"], phase=phase)
 
     _metric(
         lines,
@@ -294,8 +344,9 @@ def service_to_prometheus(stats) -> str:
         "summary",
         "Submit-to-result latency per scheme (executed specs only).",
     )
-    for scheme in sorted(stats.latency):
-        q = stats.latency[scheme]
+    latency = data.get("latency") or {}
+    for scheme in sorted(latency):
+        q = latency[scheme]
         for quantile, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
             _sample(
                 lines,

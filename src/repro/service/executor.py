@@ -41,10 +41,19 @@ from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
 from repro.experiments.faults import FaultPlan
-from repro.experiments.supervision import RunReport, SupervisionError, Supervisor
+from repro.experiments.supervision import (
+    RunReport,
+    SupervisionError,
+    Supervisor,
+    cell_name,
+)
 
 #: Distinguishes "kwarg not passed" from an explicit ``None``.
 _UNSET = object()
+
+#: The release that deletes the legacy kwargs this module still shims.
+#: Named in every deprecation message so callers know their horizon.
+REMOVAL_VERSION = "repro 2.0"
 
 #: Once-per-process latch for legacy-kwarg deprecation warnings (same
 #: policy as :mod:`repro.experiments.runner`): the first legacy use
@@ -59,7 +68,8 @@ def warn_legacy(name: str, replacement: str) -> None:
         return
     _DEPRECATION_WARNED.add(name)
     warnings.warn(
-        f"{name} is deprecated; {replacement}",
+        f"{name} is deprecated and will be removed in {REMOVAL_VERSION}; "
+        f"{replacement}",
         DeprecationWarning,
         stacklevel=3,
     )
@@ -138,6 +148,7 @@ class Executor:
         self._on_result: Optional[Callable] = None
         self._report: Optional[RunReport] = None
         self._report_path = None
+        self._tracer = None
 
     def bind(
         self,
@@ -147,13 +158,19 @@ class Executor:
         on_result: Optional[Callable] = None,
         report: Optional[RunReport] = None,
         report_path=None,
+        tracer=None,
     ) -> "Executor":
-        """Wire in the scheduler's worker callable and result plumbing."""
+        """Wire in the scheduler's worker callable and result plumbing.
+
+        ``tracer`` is the scheduler's :class:`~repro.obs.spans.SpanTracer`
+        or ``None``; backends emit attempt/lease spans only when set.
+        """
         self._worker = worker
         self._validate = validate
         self._on_result = on_result
         self._report = report
         self._report_path = report_path
+        self._tracer = tracer
         return self
 
     # -- the protocol --------------------------------------------------- #
@@ -219,6 +236,30 @@ class LocalPoolExecutor(Executor):
         buffer, self._buffer = self._buffer, {}
         if not buffer:
             return {}
+        tracer = self._tracer
+        on_result = self._on_result
+        spans: dict = {}
+        if tracer is not None:
+            # One attempt span per cell, parented under the cell span's
+            # context riding in the payload.  The pool does not expose
+            # per-retry boundaries, so this covers the cell's whole stay
+            # in the Supervisor; finished the moment its result lands.
+            for cell, payload in buffer.items():
+                spans[cell] = tracer.begin(
+                    "attempt",
+                    payload.get("trace"),
+                    cell=cell_name(cell),
+                    executor="local",
+                )
+            inner = self._on_result
+
+            def on_result(cell, result):
+                span = spans.pop(cell, None)
+                if span is not None:
+                    tracer.finish(span, status="ok")
+                if inner is not None:
+                    inner(cell, result)
+
         supervisor = Supervisor(
             self._worker,
             buffer.__getitem__,
@@ -229,7 +270,7 @@ class LocalPoolExecutor(Executor):
             fault_plan=self.config.fault_plan,
             hang_grace=self.config.hang_grace,
             validate=self._validate,
-            on_result=self._on_result,
+            on_result=on_result,
             report=self._report,
             report_path=self._report_path,
         )
@@ -242,6 +283,9 @@ class LocalPoolExecutor(Executor):
         finally:
             with self._lock:
                 self._active = None
+            if tracer is not None:
+                for span in spans.values():
+                    tracer.finish(span, status="failed")
 
     def cancel(self) -> None:
         with self._lock:

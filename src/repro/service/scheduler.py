@@ -91,6 +91,12 @@ class SchedulerClosed(RuntimeError):
     """``submit`` was called on a scheduler that stopped accepting work."""
 
 
+#: Version of the :meth:`ServiceStats.to_dict` record shape.  Bump on
+#: any incompatible change (renamed/retyped keys); additive keys keep
+#: the version.  v1: the PR-9 counters plus ``spans``/``span_phases``.
+STATS_SCHEMA_VERSION = 1
+
+
 @dataclass(frozen=True)
 class ServiceStats:
     """A consistent snapshot of the scheduler's counters.
@@ -98,6 +104,10 @@ class ServiceStats:
     ``latency`` maps scheme name to the summary quantiles (p50/p90/p99,
     count, sum, max) of submit-to-result latency for *executed* specs;
     cache and dedup hits resolve too fast to be interesting.
+
+    The one serialised shape is :meth:`to_dict` — ``/healthz``, the
+    ``/metrics`` exporter and :func:`repro.service.wire.stats_record`
+    all consume it, so a counter added here reaches every surface.
     """
 
     submitted: int
@@ -130,6 +140,18 @@ class ServiceStats:
     workers_connected: int = 0
     leases_active: int = 0
     redispatches: int = 0
+    #: Span-tracer counters (``started``/``finished``/``adopted``/
+    #: ``dropped``) — empty when tracing is off.
+    spans: dict = field(default_factory=dict)
+    #: ``{phase: quantile summary}`` of span durations — empty when
+    #: tracing is off.
+    span_phases: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """The versioned stats record every surface consumes."""
+        from dataclasses import asdict
+
+        return {"stats_version": STATS_SCHEMA_VERSION, **asdict(self)}
 
     def to_prometheus(self) -> str:
         from repro.obs.metrics import service_to_prometheus
@@ -151,6 +173,7 @@ class _Entry:
         "size",
         "deadline",
         "deadline_s",
+        "span",
     )
 
     def __init__(self, spec: RunSpec, priority: int, seq: int) -> None:
@@ -164,6 +187,7 @@ class _Entry:
         self.size = 0  # serialized spec bytes (admission accounting)
         self.deadline: Optional[float] = None  # absolute monotonic
         self.deadline_s: Optional[float] = None  # requested budget
+        self.span = None  # live cell span, only when tracing is on
 
 
 def _run_spec(payload: dict):
@@ -251,10 +275,22 @@ class BatchScheduler:
         start: bool = True,
         executor="local",
         executor_options: Optional[dict] = None,
+        spans_path: str | os.PathLike | None = None,
+        tracer=None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
         self.retries = retries
+        # Request-path tracing is opt-in: a --spans path (or an explicit
+        # tracer) turns it on; otherwise ``self.tracer`` stays None and
+        # every emission site below is a single pointer test.
+        if tracer is None and spans_path is not None:
+            from repro.obs.spans import SpanTracer
+
+            tracer = SpanTracer()
+        self.tracer = tracer
+        self.spans_path = spans_path
+        self._span_specs: dict[str, RunSpec] = {}  # cell span_id -> spec
         # Legacy execution-policy kwargs (pre-Executor API): honoured,
         # but deprecated in favour of ``executor_options`` — the same
         # once-per-process warning policy as the runner's legacy shims.
@@ -330,6 +366,7 @@ class BatchScheduler:
             ),
             report=self.report,
             report_path=self.report_path,
+            tracer=self.tracer,
         )
 
         self._lock = threading.Lock()
@@ -382,6 +419,7 @@ class BatchScheduler:
         spec: RunSpec,
         priority: int = 0,
         deadline: Optional[float] = None,
+        trace=None,
     ) -> Future:
         """Queue one spec; the returned future resolves to its result.
 
@@ -389,8 +427,10 @@ class BatchScheduler:
         now; defaults to the spec's own ``deadline`` field) bounds how
         long the spec may wait *and* run — an expired spec fails with
         :class:`~repro.service.durability.DeadlineExceeded` instead of
-        occupying a worker.  Raises
-        :class:`~repro.api.spec.SpecError` on an invalid spec,
+        occupying a worker.  ``trace`` is an optional inbound span
+        context (``{"trace_id", "span_id"}``): when tracing is on, the
+        cell span roots under it instead of starting a fresh trace.
+        Raises :class:`~repro.api.spec.SpecError` on an invalid spec,
         :class:`SchedulerClosed` after :meth:`close`,
         :class:`~repro.service.durability.AdmissionRejected` when shed
         by admission control, and
@@ -406,6 +446,10 @@ class BatchScheduler:
             done = self._results.get(spec)
             if done is not None:
                 self.cache_hits += 1
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "dedup", trace, cell=spec.name, source="memory"
+                    )
                 future.set_result(done)
                 return future
             entry = self._entries.get(spec)
@@ -415,6 +459,13 @@ class BatchScheduler:
                 # more urgent and it has not been picked up yet.
                 self.dedup_hits += 1
                 entry.futures.append(future)
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "dedup",
+                        trace if trace is not None else entry.span,
+                        cell=spec.name,
+                        source="inflight",
+                    )
                 if entry.state == "queued" and priority < entry.priority:
                     entry.priority = priority
                     heappush(self._queue, (priority, entry.seq, spec))
@@ -448,6 +499,11 @@ class BatchScheduler:
             entry = _Entry(spec, priority, next(self._seq))
             entry.futures.append(future)
             entry.size = size
+            if self.tracer is not None:
+                entry.span = self.tracer.begin(
+                    "cell", trace, cell=spec.name, scheme=spec.scheme
+                )
+                self._span_specs[entry.span.span_id] = spec
             self._pending_bytes += size
             budget = deadline if deadline is not None else spec.deadline
             if budget is not None:
@@ -476,6 +532,7 @@ class BatchScheduler:
         self._entries.pop(entry.spec, None)
         self._pending_bytes -= entry.size
         self.cancelled += 1
+        self._finish_cell_span(entry, "shed")
         if self._journal is not None and entry.key is not None:
             self._journal.append("cancelled", entry.key, detail="shed")
         for future in entry.futures:
@@ -612,6 +669,11 @@ class BatchScheduler:
         from repro.obs.metrics import latency_quantiles
 
         xstats = self.executor.stats()
+        span_counters: dict = {}
+        span_phases: dict = {}
+        if self.tracer is not None:
+            span_counters = self.tracer.counters()
+            span_phases = self.tracer.phase_quantiles()
         with self._lock:
             queued = sum(1 for e in self._entries.values() if e.state == "queued")
             inflight = sum(1 for e in self._entries.values() if e.state == "inflight")
@@ -642,6 +704,8 @@ class BatchScheduler:
                 workers_connected=xstats.workers_connected,
                 leases_active=xstats.leases_active,
                 redispatches=xstats.redispatches,
+                spans=span_counters,
+                span_phases=span_phases,
             )
 
     # ------------------------------------------------------------------ #
@@ -683,6 +747,7 @@ class BatchScheduler:
                 del self._entries[spec]
                 self._pending_bytes -= entry.size
                 self.cancelled += 1
+                self._finish_cell_span(entry, "cancelled")
                 if self._journal is not None and entry.key is not None:
                     self._journal.append("cancelled", entry.key)
                 for future in entry.futures:
@@ -694,12 +759,35 @@ class BatchScheduler:
         return batch
 
     def _execute(self, batch: list[_Entry]) -> None:
+        batch_span = None
+        if self.tracer is not None:
+            batch_span = self.tracer.begin("batch", cells=len(batch))
         # Disk-cache pass first: anything already content-addressed on
         # disk resolves without occupying a worker.
         todo: list[_Entry] = []
         for entry in batch:
+            if self.tracer is not None and entry.span is not None:
+                # Cells submitted without an inbound context root under
+                # this drain round's batch span; cells carrying a
+                # caller's trace keep it (reparent is a no-op).  The
+                # queue phase is recorded in hindsight — created after
+                # reparenting so it lands in the cell's final trace.
+                self.tracer.reparent(entry.span, batch_span)
+                self.tracer.complete(
+                    "queue",
+                    entry.span,
+                    duration=time.monotonic() - entry.created,
+                )
             if self.cache is not None:
+                lookup_started = time.monotonic()
                 found = self.cache.get(entry.spec.cache_key())
+                if self.tracer is not None and entry.span is not None:
+                    self.tracer.complete(
+                        "cache",
+                        entry.span,
+                        duration=time.monotonic() - lookup_started,
+                        hit=found is not None,
+                    )
                 if found is not None:
                     with self._lock:
                         self.cache_hits += 1
@@ -720,6 +808,8 @@ class BatchScheduler:
         if expired:
             todo = [entry for entry in todo if entry not in expired]
         if not todo:
+            if batch_span is not None:
+                self.tracer.finish(batch_span, executed=0)
             self._flush_report()
             return
 
@@ -774,7 +864,13 @@ class BatchScheduler:
             timeout = remaining if timeout is None else min(timeout, remaining)
 
         for entry in todo:
-            self.executor.submit(entry.spec, _payload(entry.spec))
+            payload = _payload(entry.spec)
+            if self.tracer is not None and entry.span is not None:
+                # The cell's context rides the payload: the executor
+                # parents its attempt/lease spans under it, and a remote
+                # worker's execute span stitches home through it.
+                payload["trace"] = entry.span.context()
+            self.executor.submit(entry.spec, payload)
         with self._lock:
             if self._abort:
                 self.executor.cancel()
@@ -797,6 +893,10 @@ class BatchScheduler:
             # batch is resumable by definition.
             for entry in todo:
                 self._cancel_entry(entry.spec, journal=False)
+        if batch_span is not None:
+            self.tracer.finish(
+                batch_span, executed=len(todo), interrupted=interrupted
+            )
         if self._journal is not None:
             self._journal.flush()
         self._flush_report()
@@ -804,6 +904,13 @@ class BatchScheduler:
     # ------------------------------------------------------------------ #
     # Completion plumbing
     # ------------------------------------------------------------------ #
+
+    def _finish_cell_span(self, entry: Optional[_Entry], status: str, **attrs) -> None:
+        """Finish an entry's cell span at a terminal transition (no-op
+        when tracing is off or the entry never had a span)."""
+        if self.tracer is None or entry is None or entry.span is None:
+            return
+        self.tracer.finish(entry.span, status=status, **attrs)
 
     def _resolve(self, spec: RunSpec, result: SystemResult, *, simulated: bool) -> None:
         # Order matters for crash safety: the result reaches the
@@ -827,6 +934,9 @@ class BatchScheduler:
             futures = list(entry.futures) if entry is not None else []
             if entry is not None:
                 entry.state = "done"
+        self._finish_cell_span(
+            entry, "ok", source="simulated" if simulated else "cache"
+        )
         if entry is not None and self._journal is not None and entry.key is not None:
             self._journal.append(
                 "done", entry.key, detail="simulated" if simulated else "cache"
@@ -846,6 +956,7 @@ class BatchScheduler:
             futures = list(entry.futures) if entry is not None else []
             if entry is not None:
                 entry.state = "done"
+        self._finish_cell_span(entry, "failed", error=type(error).__name__)
         if entry is not None and self._journal is not None and entry.key is not None:
             self._journal.append("failed", entry.key, detail=str(error))
         if self.breaker is not None and isinstance(error, JobFailed):
@@ -865,6 +976,7 @@ class BatchScheduler:
             self._pending_bytes -= entry.size
             self.cancelled += 1
             futures = list(entry.futures)
+        self._finish_cell_span(entry, "cancelled")
         if journal and self._journal is not None and entry.key is not None:
             self._journal.append("cancelled", entry.key)
         for future in futures:
@@ -878,6 +990,7 @@ class BatchScheduler:
             del self._entries[spec]
             self._pending_bytes -= entry.size
             self.cancelled += 1
+            self._finish_cell_span(entry, "cancelled")
             if journal and self._journal is not None and entry.key is not None:
                 self._journal.append("cancelled", entry.key)
             for future in entry.futures:
@@ -889,6 +1002,18 @@ class BatchScheduler:
             self.report.cache_hits = self.cache.hits
             self.report.cache_misses = self.cache.misses
             self.report.cache_quarantined = self.cache.quarantined
+        if self.tracer is not None:
+            # Fold the tracer's per-cell phase totals into existing
+            # report records (RunReport v4).  Only existing records:
+            # creating one here would invent "pending" cells the report
+            # never executed.
+            for span_id, phases in self.tracer.rollup().items():
+                spec = self._span_specs.get(span_id)
+                if spec is None:
+                    continue
+                record = self.report.records.get(spec)
+                if record is not None:
+                    record.phases = phases
         self.report.finalize()
         if self.report_path is not None:
             self.report.write(self.report_path)
@@ -901,6 +1026,11 @@ class BatchScheduler:
             path.write_text(
                 self.stats().to_prometheus() + self.report.to_prometheus()
             )
+        if self.tracer is not None and self.spans_path is not None:
+            path = Path(self.spans_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as stream:
+                self.tracer.write_jsonl(stream)
 
 
 def run_batch(

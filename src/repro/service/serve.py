@@ -108,7 +108,10 @@ def serve_jsonl(
         req_id, spec = request.id, request.spec
         try:
             future = scheduler.submit(
-                spec, priority=request.priority, deadline=request.deadline
+                spec,
+                priority=request.priority,
+                deadline=request.deadline,
+                trace=request.trace,
             )
         except (AdmissionRejected, BreakerOpen) as exc:
             # Shed per request, never per stream: one refused submission
@@ -156,20 +159,26 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_json(
-        self, status: int, payload: object, retry_after: Optional[float] = None
+        self,
+        status: int,
+        payload: object,
+        retry_after: Optional[float] = None,
+        headers: Optional[dict] = None,
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         if retry_after is not None:
             self.send_header("Retry-After", str(max(1, int(round(retry_after)))))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/healthz":
-            self._send_json(200, {"ok": True, **vars(self.scheduler.stats())})
+            self._send_json(200, wire.stats_record(self.scheduler.stats()))
         elif self.path == "/metrics":
             text = self.scheduler.stats().to_prometheus()
             text += self.scheduler.report.to_prometheus(per_cell=False)
@@ -194,12 +203,29 @@ class _Handler(BaseHTTPRequestHandler):
             ]
             deadline_header = self.headers.get("X-Repro-Deadline")
             deadline = float(deadline_header) if deadline_header else None
+            inbound = wire.parse_trace(self.headers.get(wire.TRACE_HEADER))
         except (ValueError, SpecError, TypeError) as exc:
             # One structured 400 for everything malformed — bad JSON,
-            # invalid specs, mismatched protocol_version — with its
-            # taxonomy code, never a traceback.
+            # invalid specs, mismatched protocol_version, a torn trace
+            # header — with its taxonomy code, never a traceback.
             self._send_json(400, wire.error_record(exc))
             return
+        # With tracing on, the whole POST gets an "http" span (rooted
+        # under an inbound X-Repro-Trace context, if any) and the cells
+        # parent under it; the context is echoed back in the response
+        # header either way so callers can stitch across hops.
+        tracer = getattr(self.scheduler, "tracer", None)
+        http_span = None
+        if tracer is not None:
+            http_span = tracer.begin(
+                "http", inbound, path=self.path, specs=len(requests)
+            )
+            context = http_span.context()
+        else:
+            context = inbound
+        trace_headers: Optional[dict] = None
+        if context is not None:
+            trace_headers = {wire.TRACE_HEADER: wire.format_trace(context)}
         results: list = []
         admitted: list = []  # (slot, spec, future)
         retry_after = 0.0
@@ -211,6 +237,7 @@ class _Handler(BaseHTTPRequestHandler):
                     spec,
                     priority=request.priority,
                     deadline=request.deadline if request.deadline is not None else deadline,
+                    trace=request.trace if request.trace is not None else context,
                 )
             except AdmissionRejected as exc:
                 shed = True
@@ -239,6 +266,8 @@ class _Handler(BaseHTTPRequestHandler):
                 results[slot] = wire.error_record(exc, spec=spec.name)
             except Exception as exc:  # noqa: BLE001 - reported per spec
                 results[slot] = wire.error_record(exc, spec=spec.name)
+        if http_span is not None:
+            tracer.finish(http_span)
         if closed or cancelled:
             # Structured partial status instead of a hung or reset socket.
             self._send_json(
@@ -249,13 +278,19 @@ class _Handler(BaseHTTPRequestHandler):
                     "partial": True,
                     "results": results,
                 },
+                headers=trace_headers,
             )
             return
         if not admitted and results and all(r and not r["ok"] for r in results):
             # Nothing was even accepted: overload (429) or breaker (503).
-            self._send_json(429 if shed else 503, results, retry_after=retry_after)
+            self._send_json(
+                429 if shed else 503,
+                results,
+                retry_after=retry_after,
+                headers=trace_headers,
+            )
             return
-        self._send_json(200, results)
+        self._send_json(200, results, headers=trace_headers)
 
 
 class BatchHTTPServer(ThreadingHTTPServer):

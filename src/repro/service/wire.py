@@ -75,6 +75,10 @@ ERROR_CODES = (
 #: this is treated as stream corruption, not an allocation request.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
+#: HTTP header carrying an inbound/outbound trace context as
+#: ``<trace_id>-<span_id>`` (two hex strings).  See :func:`parse_trace`.
+TRACE_HEADER = "X-Repro-Trace"
+
 
 class WireError(ValueError):
     """A wire message violated the protocol (framing, shape or version)."""
@@ -171,6 +175,19 @@ def result_record(result, **extra) -> dict:
     return record
 
 
+def stats_record(stats, **extra) -> dict:
+    """The shared stats/health envelope: ``{"ok": true, ...to_dict()}``.
+
+    Consumes the versioned :meth:`ServiceStats.to_dict` schema so
+    ``/healthz``, JSONL consumers and any future stats frame all emit
+    the same record (duck typed: any object with ``to_dict()`` works).
+    """
+    payload = stats.to_dict() if hasattr(stats, "to_dict") else dict(vars(stats))
+    record = {"ok": True, **payload}
+    record.update(extra)
+    return record
+
+
 # --------------------------------------------------------------------- #
 # Requests
 # --------------------------------------------------------------------- #
@@ -178,12 +195,19 @@ def result_record(result, **extra) -> dict:
 
 @dataclass(frozen=True)
 class Request:
-    """One typed submission request, whatever front-end it arrived on."""
+    """One typed submission request, whatever front-end it arrived on.
+
+    ``trace`` is the caller's span context (``{"trace_id", "span_id"}``)
+    when the request arrived with one — the submitted cell's span roots
+    under it instead of starting a fresh trace.  ``None`` when absent,
+    which every pre-tracing peer is.
+    """
 
     id: object
     spec: RunSpec
     priority: int = 0
     deadline: Optional[float] = None
+    trace: Optional[dict] = None
 
 
 def check_protocol(obj: Mapping, *, where: str = "request") -> None:
@@ -204,14 +228,69 @@ def check_protocol(obj: Mapping, *, where: str = "request") -> None:
         )
 
 
+def check_trace(obj: Mapping) -> Optional[dict]:
+    """Validate an optional ``trace`` context on a request envelope.
+
+    The field is additive under :data:`PROTOCOL_VERSION` 1: absent (or
+    ``None``) means no trace and is what every pre-tracing peer sends,
+    so it never rejects old clients.  Present, it must be a
+    ``{"trace_id": str, "span_id": str}`` object; anything else raises
+    :class:`WireError` rather than silently breaking stitching.
+    """
+    trace = obj.get("trace")
+    if trace is None:
+        return None
+    if not isinstance(trace, Mapping) or not trace.get("trace_id"):
+        raise WireError(
+            f"trace must be an object with trace_id/span_id, got {trace!r}"
+        )
+    context = {"trace_id": str(trace["trace_id"])}
+    if trace.get("span_id") is not None:
+        context["span_id"] = str(trace["span_id"])
+    return context
+
+
+def format_trace(context: Optional[Mapping]) -> Optional[str]:
+    """Render a span context as the :data:`TRACE_HEADER` value."""
+    if not context or not context.get("trace_id"):
+        return None
+    return f"{context['trace_id']}-{context.get('span_id', '')}".rstrip("-")
+
+
+def parse_trace(text: Optional[str]) -> Optional[dict]:
+    """Parse a :data:`TRACE_HEADER` value back into a span context.
+
+    ``None``/blank means no trace.  A malformed value raises
+    :class:`WireError` so the HTTP front-end returns a structured 400
+    instead of dropping the caller's context on the floor.
+    """
+    if text is None or not text.strip():
+        return None
+    parts = text.strip().split("-")
+    if not all(_is_hex_id(part) for part in parts) or len(parts) > 2:
+        raise WireError(
+            f"{TRACE_HEADER} must be '<trace_id>' or '<trace_id>-<span_id>' "
+            f"(hex ids), got {text!r}"
+        )
+    context = {"trace_id": parts[0]}
+    if len(parts) == 2:
+        context["span_id"] = parts[1]
+    return context
+
+
+def _is_hex_id(text: str) -> bool:
+    return bool(text) and all(c in "0123456789abcdefABCDEF" for c in text)
+
+
 def parse_request(obj: object, default_id: object = None) -> Request:
     """One typed :class:`Request` from any historical request spelling.
 
     Accepts a bare spec object or an envelope ``{"spec": {...},
-    "priority": n, "id": ..., "deadline": s, "protocol_version": v}``.
-    The spec is validated here, so every front-end rejects the same
-    boundary values with the same message.  Raises :class:`WireError`
-    (shape or version) or :class:`~repro.api.spec.SpecError`.
+    "priority": n, "id": ..., "deadline": s, "trace": {...},
+    "protocol_version": v}``.  The spec is validated here, so every
+    front-end rejects the same boundary values with the same message.
+    Raises :class:`WireError` (shape or version) or
+    :class:`~repro.api.spec.SpecError`.
     """
     if not isinstance(obj, Mapping):
         raise WireError(
@@ -229,10 +308,11 @@ def parse_request(obj: object, default_id: object = None) -> Request:
             ) from None
         req_id = obj.get("id", default_id)
         deadline = obj.get("deadline")
+        trace = check_trace(obj)
     else:
         body = {k: v for k, v in obj.items() if k != "protocol_version"}
         spec = RunSpec.from_dict(body)
-        priority, req_id, deadline = 0, default_id, None
+        priority, req_id, deadline, trace = 0, default_id, None, None
     if deadline is not None:
         try:
             deadline = float(deadline)
@@ -240,7 +320,7 @@ def parse_request(obj: object, default_id: object = None) -> Request:
             raise WireError(
                 f"deadline must be a number of seconds, got {deadline!r}"
             ) from None
-    return Request(req_id, spec.validate(), priority, deadline)
+    return Request(req_id, spec.validate(), priority, deadline, trace)
 
 
 # --------------------------------------------------------------------- #

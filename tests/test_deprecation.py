@@ -31,6 +31,14 @@ def test_legacy_simulate_mix_warns_and_points_at_runspec():
         simulate_mix((471, 444), "baseline", quota=1_000, warmup=500)
 
 
+def test_legacy_runner_warning_names_the_removal_version():
+    """Deprecations commit to a removal point, not an open-ended 'later'."""
+    with pytest.warns(
+        DeprecationWarning, match=r"will be removed in repro 2\.0"
+    ):
+        simulate_mix((471, 444), "baseline", quota=1_000, warmup=500)
+
+
 def test_legacy_run_mix_warns_and_points_at_runspec():
     with pytest.warns(DeprecationWarning, match="RunSpec"):
         run_mix((471, 444), "baseline", runner=ExperimentRunner(quota=1_000, warmup=500))
@@ -93,6 +101,18 @@ def test_scheduler_legacy_hang_grace_warns_and_still_works(_reset_executor_latch
     with pytest.warns(DeprecationWarning, match="executor_options"):
         sched = BatchScheduler(start=False, hang_grace=2.5)
     assert sched.executor.config.hang_grace == 2.5
+    sched.close(drain=False)
+
+
+def test_scheduler_legacy_warning_names_the_removal_version(_reset_executor_latch):
+    from repro.service import BatchScheduler
+    from repro.service.executor import REMOVAL_VERSION
+
+    assert REMOVAL_VERSION == "repro 2.0"
+    with pytest.warns(
+        DeprecationWarning, match=r"will be removed in repro 2\.0"
+    ):
+        sched = BatchScheduler(start=False, hang_grace=1.0)
     sched.close(drain=False)
 
 

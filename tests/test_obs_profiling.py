@@ -24,7 +24,8 @@ def tiny_runner(tmp_path, **kwargs):
 
 def test_report_version_bumped_for_new_fields():
     # v3: watchdog_kills (hung workers SIGKILLed by the heartbeat watchdog)
-    assert RunReport.VERSION == 3
+    # v4: per-cell ``phases`` span-rollup timings (empty dict untraced)
+    assert RunReport.VERSION == 4
 
 
 def test_timing_fields_accumulate():
@@ -56,7 +57,7 @@ def test_to_dict_carries_timing_and_cache_sections():
     report.cache_hits = 2
     report.finalize()
     payload = report.to_dict()
-    assert payload["version"] == 3
+    assert payload["version"] == RunReport.VERSION
     assert payload["timing"]["busy_seconds"] == pytest.approx(0.75)
     assert payload["timing"]["elapsed"] >= 0
     assert payload["cache"] == {

@@ -1,0 +1,105 @@
+"""``repro.obs.metrics.percentile``: interpolating, clamped, total.
+
+The old implementation indexed ``int(fraction * (n - 1))`` — a floor
+that made p90 of [1..10] return 9 instead of 9.1 and p50 of [0, 10]
+return 0.  The interpolating version is pinned here with exact values
+plus property tests over arbitrary inputs.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import latency_quantiles, percentile
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+# --------------------------------------------------------------------- #
+# Exact values
+# --------------------------------------------------------------------- #
+
+
+def test_empty_is_zero():
+    assert percentile([], 0.5) == 0.0
+    assert percentile([], 0.0) == 0.0
+
+
+def test_singleton_is_the_value_at_every_fraction():
+    for fraction in (0.0, 0.25, 0.5, 0.99, 1.0):
+        assert percentile([7.25], fraction) == 7.25
+
+
+def test_median_interpolates_between_the_middle_pair():
+    assert percentile([0.0, 10.0], 0.5) == 5.0
+
+
+def test_quartile_interpolates():
+    assert percentile([1.0, 2.0, 3.0, 4.0], 0.25) == 1.75
+    assert percentile([1.0, 2.0, 3.0, 4.0], 0.75) == 3.25
+
+
+def test_p90_of_one_to_ten():
+    values = [float(v) for v in range(1, 11)]
+    assert percentile(values, 0.90) == pytest.approx(9.1)
+
+
+def test_extremes_are_min_and_max():
+    values = [3.0, 1.0, 2.0]
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 1.0) == 3.0
+
+
+def test_fraction_is_clamped():
+    values = [1.0, 2.0, 3.0]
+    assert percentile(values, -0.5) == 1.0
+    assert percentile(values, 1.5) == 3.0
+
+
+def test_input_order_is_irrelevant():
+    assert percentile([5.0, 1.0, 3.0], 0.5) == percentile([1.0, 3.0, 5.0], 0.5)
+
+
+# --------------------------------------------------------------------- #
+# Properties
+# --------------------------------------------------------------------- #
+
+
+@given(st.lists(finite, min_size=1), st.floats(min_value=0.0, max_value=1.0))
+def test_result_bounded_by_min_and_max(values, fraction):
+    result = percentile(values, fraction)
+    assert min(values) <= result <= max(values)
+
+
+@given(st.lists(finite, min_size=1))
+def test_monotonic_in_fraction(values):
+    fractions = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0]
+    results = [percentile(values, f) for f in fractions]
+    assert results == sorted(results)
+
+
+@given(finite, st.integers(min_value=1, max_value=50),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_duplicate_heavy_input_returns_the_duplicate(value, count, fraction):
+    assert percentile([value] * count, fraction) == value
+
+
+@given(st.lists(finite, min_size=1), st.floats(min_value=0.0, max_value=1.0))
+def test_interpolation_stays_between_adjacent_order_statistics(values, fraction):
+    ordered = sorted(values)
+    rank = fraction * (len(ordered) - 1)
+    lo, hi = int(rank), min(int(rank) + 1, len(ordered) - 1)
+    result = percentile(values, fraction)
+    assert min(ordered[lo], ordered[hi]) <= result <= max(ordered[lo], ordered[hi])
+
+
+def test_latency_quantiles_uses_interpolation():
+    summary = latency_quantiles([0.0, 10.0])
+    assert summary["p50"] == 5.0
+    assert summary["count"] == 2
+    assert summary["max"] == 10.0
+    assert latency_quantiles([]) == {
+        "count": 0, "sum": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0
+    }
